@@ -1,0 +1,61 @@
+"""Figure 3 — macro-benchmark: error vs sampling budget on four datasets.
+
+Paper: PS3 consistently outperforms random, random+filter, and LSS across
+all datasets and all three error metrics; at a 1% budget on TPC-H* the
+paper reports 17.5x / 10.8x / 3.6x error reductions vs the three
+baselines. At reproduction scale the expected *shape* is the same
+ordering (ps3 <= lss <= random+filter <= random on sorted layouts) with
+smaller factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runner import get_context
+
+DATASETS = ("tpch", "tpcds", "aria", "kdd")
+METRICS = ("missed_groups", "avg_relative_error", "abs_over_true")
+
+
+@pytest.fixture(scope="module", params=DATASETS)
+def dataset_results(request, profile):
+    ctx = get_context(request.param, profile=profile)
+    budgets = profile.budgets()
+    results = {}
+    for name, (select_fn, runs) in ctx.standard_methods().items():
+        results[name] = ctx.evaluate_method(select_fn, budgets, runs)
+    return request.param, ctx, budgets, results
+
+
+def test_fig3_macro_benchmark(dataset_results, benchmark, profile):
+    dataset, ctx, budgets, results = dataset_results
+    n = ctx.num_partitions
+    for metric in METRICS:
+        rows = [
+            [name] + [getattr(res[b], metric) for b in budgets]
+            for name, res in results.items()
+        ]
+        headers = ["method"] + [f"{100 * b / n:.0f}%" for b in budgets]
+        emit(
+            f"fig3_{dataset}_{metric}",
+            format_table(headers, rows, title=f"Figure 3 / {dataset} / {metric}"),
+        )
+
+    # Shape checks: PS3's area under the error curve beats plain random
+    # sampling, and PS3 wins at the ~10% budget the paper highlights.
+    # (Single tiny budgets — 2 partitions — are too noisy to assert on.)
+    ps3_auc = sum(results["ps3"][b].avg_relative_error for b in budgets)
+    random_auc = sum(results["random"][b].avg_relative_error for b in budgets)
+    assert ps3_auc <= random_auc
+    ten_percent = min(budgets, key=lambda b: abs(b - 0.1 * n))
+    assert (
+        results["ps3"][ten_percent].avg_relative_error
+        <= results["random"][ten_percent].avg_relative_error * 1.05
+    )
+
+    # Timed unit: one full PS3 pick at a 10% budget.
+    picker = ctx.ps3_picker()
+    query = ctx.prepared[0].query
+    benchmark(lambda: picker.select(query, max(1, n // 10)))

@@ -1,0 +1,53 @@
+"""Figure 5 — regressor feature importance by category.
+
+Paper: all four statistic families (selectivity, heavy hitter, distinct
+value, measures) contribute gain to the trained regressors, with relative
+importance varying by dataset — no family is universally dominant and
+none is useless everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runner import get_context
+from repro.core.training import regressor_feature_importance_by_category
+
+DATASETS = ("tpch", "tpcds", "aria", "kdd")
+CATEGORIES = ("selectivity", "hh", "dv", "measure")
+
+
+@pytest.fixture(scope="module")
+def importances(profile):
+    out = {}
+    for dataset in DATASETS:
+        ctx = get_context(dataset, profile=profile)
+        out[dataset] = regressor_feature_importance_by_category(ctx.model)
+    return out
+
+
+def test_fig5_feature_importance(importances, benchmark, profile):
+    rows = [
+        [dataset] + [importances[dataset][c] for c in CATEGORIES]
+        for dataset in DATASETS
+    ]
+    emit(
+        "fig5_feature_importance",
+        format_table(
+            ["dataset", *CATEGORIES],
+            rows,
+            title="Figure 5 / regressor gain importance by category (%)",
+        ),
+    )
+
+    for dataset in DATASETS:
+        shares = importances[dataset]
+        assert sum(shares.values()) == pytest.approx(100.0, abs=1e-6)
+        # Paper shape: every category matters somewhere; at least two
+        # families contribute non-trivially on each dataset.
+        contributing = [c for c in CATEGORIES if shares[c] > 1.0]
+        assert len(contributing) >= 2, (dataset, shares)
+
+    ctx = get_context("tpch", profile=profile)
+    benchmark(lambda: regressor_feature_importance_by_category(ctx.model))

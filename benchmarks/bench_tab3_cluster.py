@@ -1,0 +1,66 @@
+"""Table 3 — query latency and total compute speedups (TPC-H*).
+
+Paper: reading 1% / 5% / 10% of partitions on SCOPE clusters yields
+105.3x / 19.6x / 11.4x total-compute speedups (near linear in data read)
+but only 4.7x / 1.6x / 1.5x latency speedups (stragglers and job startup
+dominate). Our stand-in is the cost-model cluster simulator; the expected
+shape is near-linear compute speedup and clearly sublinear latency
+speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runner import get_context
+from repro.bench.simcluster import ClusterSimulator
+
+FRACTIONS = (0.01, 0.05, 0.10)
+
+
+@pytest.fixture(scope="module")
+def speedups(profile):
+    ctx = get_context("tpch", profile=profile)
+    # Scale partitions up for this experiment: the simulator is cheap, and
+    # 1% of the partition count must be at least a few tasks.
+    num_partitions = max(ctx.num_partitions, 1000)
+    partition_rows = np.full(num_partitions, profile.num_rows // ctx.num_partitions)
+    simulator = ClusterSimulator(num_workers=256)
+    rng = np.random.default_rng(profile.seed)
+    out = {}
+    for fraction in FRACTIONS:
+        count = max(1, int(round(fraction * num_partitions)))
+        latencies, computes = [], []
+        for __ in range(5):
+            selected = rng.choice(num_partitions, size=count, replace=False)
+            latency, compute = simulator.speedups(partition_rows, selected, rng)
+            latencies.append(latency)
+            computes.append(compute)
+        out[fraction] = (float(np.mean(latencies)), float(np.mean(computes)))
+    return out
+
+
+def test_tab3_cluster_speedups(speedups, benchmark):
+    rows = [
+        ["Query Latency"] + [f"{speedups[f][0]:.1f}x" for f in FRACTIONS],
+        ["Total Compute Time"] + [f"{speedups[f][1]:.1f}x" for f in FRACTIONS],
+    ]
+    headers = ["metric"] + [f"{int(100 * f)}%" for f in FRACTIONS]
+    emit(
+        "tab3_cluster_speedups",
+        format_table(headers, rows, title="Table 3 / TPC-H* simulated cluster"),
+    )
+
+    for fraction in FRACTIONS:
+        latency, compute = speedups[fraction]
+        # Compute speedup is near linear in the fraction of data read.
+        assert compute == pytest.approx(1.0 / fraction, rel=0.35)
+        # Latency speedup is real but clearly sublinear.
+        assert 1.0 < latency < compute
+
+    simulator = ClusterSimulator(num_workers=256)
+    rows_array = np.full(1000, 500)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: simulator.simulate(rows_array, rng))

@@ -1,0 +1,68 @@
+"""Table 5 — picker latency, total and clustering share.
+
+Paper: the single-thread picker takes 86.5ms (Aria) to ~1s (TPC-H*, 2844
+partitions x ~600 features), with clustering an increasing share as
+partition count and feature dimension grow. Expected shape at
+reproduction scale: a few-to-tens of milliseconds total, ordered by
+feature dimension x partition count, clustering a large share on the
+wider datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runner import get_context
+
+DATASETS = ("aria", "kdd", "tpcds", "tpch")
+
+
+@pytest.fixture(scope="module")
+def latencies(profile):
+    out = {}
+    for dataset in DATASETS:
+        ctx = get_context(dataset, profile=profile)
+        picker = ctx.ps3_picker()
+        totals, clusterings = [], []
+        for prepared in ctx.prepared[:10]:
+            for budget in profile.budgets():
+                result = picker.select(prepared.query, budget)
+                totals.append(result.total_seconds * 1e3)
+                clusterings.append(result.clustering_seconds * 1e3)
+        out[dataset] = (
+            float(np.mean(totals)),
+            float(np.std(totals)),
+            float(np.mean(clusterings)),
+            float(np.std(clusterings)),
+        )
+    return out
+
+
+def test_tab5_picker_latency(latencies, benchmark, profile):
+    rows = [
+        ["Total (ms)"]
+        + [f"{latencies[d][0]:.1f}±{latencies[d][1]:.1f}" for d in DATASETS],
+        ["Clustering (ms)"]
+        + [f"{latencies[d][2]:.1f}±{latencies[d][3]:.1f}" for d in DATASETS],
+    ]
+    emit(
+        "tab5_picker_latency",
+        format_table(
+            ["component", *DATASETS],
+            rows,
+            title="Table 5 / average picker overhead (ms)",
+        ),
+    )
+
+    for dataset in DATASETS:
+        total, __, clustering, ___ = latencies[dataset]
+        assert 0.0 < total < 5000.0  # a small fraction of any real query
+        assert clustering <= total
+
+    ctx = get_context("tpch", profile=profile)
+    picker = ctx.ps3_picker()
+    query = ctx.prepared[0].query
+    budget = max(1, ctx.num_partitions // 10)
+    benchmark(lambda: picker.select(query, budget))

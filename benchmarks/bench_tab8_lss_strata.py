@@ -1,0 +1,50 @@
+"""Table 8 — strata sizes the LSS sweep selects per budget.
+
+Paper: the modified LSS baseline sweeps stratum sizes exhaustively on the
+training set and picks the size minimizing average relative error per
+budget; chosen sizes vary irregularly with budget and dataset (no single
+size wins). The reproduction reports the same sweep table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import emit, format_table
+from repro.bench.runner import get_context
+
+DATASETS = ("tpch", "tpcds", "aria", "kdd")
+
+
+@pytest.fixture(scope="module")
+def strata_tables(profile):
+    out = {}
+    for dataset in DATASETS:
+        ctx = get_context(dataset, profile=profile)
+        out[dataset] = (ctx, dict(sorted(ctx.lss.strata_by_budget.items())))
+    return out
+
+
+def test_tab8_lss_strata_sizes(strata_tables, benchmark, profile):
+    fractions = sorted(
+        {f for __, table in strata_tables.values() for f in table}
+    )
+    headers = ["dataset"] + [f"{int(100 * f)}%" for f in fractions]
+    rows = [
+        [dataset] + [table.get(f, "-") for f in fractions]
+        for dataset, (__, table) in strata_tables.items()
+    ]
+    emit(
+        "tab8_lss_strata",
+        format_table(headers, rows, title="Table 8 / LSS stratum sizes by budget"),
+    )
+
+    for dataset, (ctx, table) in strata_tables.items():
+        assert table, dataset
+        for fraction, size in table.items():
+            assert 1 <= size <= ctx.num_partitions
+
+    ctx, __ = strata_tables["tpch"]
+    query = ctx.prepared[0].query
+    budget = max(1, ctx.num_partitions // 10)
+    benchmark(lambda: ctx.lss.select(query, budget))

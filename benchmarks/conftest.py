@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Benchmarks read the active scale profile from ``REPRO_BENCH_PROFILE``
+(quick | default | full). Expensive artifacts (trained contexts) are
+cached process-wide by ``repro.bench.runner.get_context`` so related
+figures share training runs. Each module prints the rows/series its paper
+table or figure reports and mirrors them to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.profiles import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()

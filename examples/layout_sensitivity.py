@@ -1,0 +1,69 @@
+"""Layout sensitivity: the same data, three layouts, one workload.
+
+PS3 is layout agnostic by design — it works with data in situ — but how
+much it *wins* depends on the layout (paper section 5.5.1). This example
+trains PS3 on the KDD-style intrusion log under its three layouts
+(sorted by `count`, by (service, flag), and fully random) and reports the
+PS3-vs-random error at a 10% budget on each, reproducing the Figure 6/8
+intuition: sorted layouts concentrate signal into partitions and PS3
+exploits it; a random layout leaves nothing to exploit.
+
+Run:  python examples/layout_sensitivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PS3
+from repro.api import answer_with_selection
+from repro.baselines.random_sampling import RandomSampler
+from repro.core.metrics import evaluate_errors, mean_report
+from repro.datasets import get_dataset
+from repro.engine.layout import layout_and_partition
+from repro.workload import QueryGenerator
+
+LAYOUTS = ("count", "service_flag", "random")
+
+
+def main() -> None:
+    spec = get_dataset("kdd")
+    print("Evaluating KDD-style intrusion log across layouts...")
+
+    for layout in LAYOUTS:
+        ptable = spec.build(num_rows=24_000, num_partitions=64, layout=layout, seed=5)
+        workload = spec.workload()
+        generator = QueryGenerator(workload, ptable.table, seed=21)
+        train_queries, test_queries = generator.train_test_split(32, 6)
+        ps3 = PS3(ptable, workload).fit(train_queries)
+
+        ps3_reports, random_reports = [], []
+        for query in test_queries:
+            answer = ps3.query(query, budget_fraction=0.10)
+            ps3_reports.append(ps3.evaluate(query, answer))
+            exact = ps3.execute_exact(query)
+            for seed in range(3):
+                sampler = RandomSampler(ptable.num_partitions, seed=seed)
+                selection = sampler.select(query, answer.budget)
+                random_reports.append(
+                    evaluate_errors(
+                        exact, answer_with_selection(ptable, query, selection)
+                    )
+                )
+        ps3_error = mean_report(ps3_reports).avg_relative_error
+        random_error = mean_report(random_reports).avg_relative_error
+        gain = random_error / ps3_error if ps3_error > 0 else np.inf
+        print(
+            f"\n  layout={layout:13s} "
+            f"PS3 err {ps3_error:6.4f}  random err {random_error:6.4f}  "
+            f"-> {gain:4.1f}x error reduction"
+        )
+
+    print("\nSorted layouts cluster attack bursts into few partitions, which")
+    print("the importance funnel and bitmaps exploit; the random layout makes")
+    print("every partition a uniform sample, so uniform sampling is already")
+    print("near-optimal there (and PS3 should not be used, per the paper).")
+
+
+if __name__ == "__main__":
+    main()

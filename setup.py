@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so ``pip install -e . --no-use-pep517`` (legacy editable install)
+works on offline machines whose setuptools cannot build wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""PS3 reproduction: approximate partition selection via summary statistics.
+
+Reimplementation of *Approximate Partition Selection for Big-Data
+Workloads using Summary Statistics* (Rong et al., VLDB 2020) with every
+substrate — columnar engine, sketches, gradient-boosted trees, clustering,
+datasets — built from scratch. See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PS3
+    from repro.datasets import get_dataset
+    from repro.workload import QueryGenerator
+
+    spec = get_dataset("tpch")
+    ptable = spec.build(num_rows=20_000, num_partitions=64)
+    generator = QueryGenerator(spec.workload(), ptable.table, seed=1)
+    train, test = generator.train_test_split(30, 5)
+
+    ps3 = PS3(ptable, spec.workload()).fit(train)
+    answer = ps3.query(test[0], budget_fraction=0.1)
+    print(ps3.evaluate(test[0], answer))
+"""
+
+from repro.api import PS3, ApproximateAnswer
+from repro.core.metrics import ErrorReport
+from repro.core.picker import PickerConfig
+from repro.core.training import TrainingConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PS3",
+    "ApproximateAnswer",
+    "ErrorReport",
+    "PickerConfig",
+    "TrainingConfig",
+    "__version__",
+]

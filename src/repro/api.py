@@ -1,0 +1,255 @@
+"""High-level PS3 facade: build statistics, train once, query many times.
+
+Typical use::
+
+    from repro import PS3
+    from repro.engine import Query
+    ...
+    ps3 = PS3(ptable, workload_spec)
+    ps3.fit(train_queries)                 # offline, one-time
+    answer = ps3.query(some_query, budget_fraction=0.05)
+    print(answer.groups, answer.selection.partitions)
+
+``PS3`` owns the statistics builder, feature builder, trained picker
+model, and the online picker; :class:`ApproximateAnswer` carries the
+per-group estimates plus the weighted selection and error diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.feature_selection import (
+    ClusteringErrorEvaluator,
+    greedy_feature_selection,
+)
+from repro.core.metrics import ErrorReport, evaluate_errors
+from repro.core.picker import PickerConfig, PickerSelection, PS3Picker
+from repro.core.training import (
+    PickerModel,
+    TrainingConfig,
+    TrainingData,
+    train_picker_model,
+)
+from repro.engine.combiner import FinalAnswer, estimate, finalize_answer
+from repro.engine.executor import (
+    compute_partition_answers,
+    execute_on_partition,
+    true_answer,
+)
+from repro.engine.query import Query
+from repro.engine.table import PartitionedTable
+from repro.errors import ConfigError, NotFittedError
+from repro.sketches.builder import SketchConfig, build_dataset_statistics
+from repro.stats.features import FeatureBuilder
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class StalenessReport:
+    """Drift accumulated through appends since the model was trained.
+
+    ``needs_retraining`` trips when appended partitions exceed 20% of the
+    dataset or the global heavy hitters of any column have drifted by
+    more than 0.5 Jaccard distance — the "substantial change" retraining
+    trigger of paper section 7.
+    """
+
+    partitions_added: int
+    fraction_new: float
+    heavy_hitter_drift: float
+    needs_retraining: bool
+
+
+@dataclass
+class ApproximateAnswer:
+    """An approximate query answer with full provenance."""
+
+    query: Query
+    groups: FinalAnswer
+    selection: PickerSelection
+    budget: int
+    num_partitions: int
+
+    @property
+    def fraction_read(self) -> float:
+        return len(self.selection.selection) / self.num_partitions
+
+    def aggregate_labels(self) -> tuple[str, ...]:
+        return tuple(a.label() for a in self.query.aggregates)
+
+
+class PS3:
+    """End-to-end system: statistics builder + trained partition picker."""
+
+    def __init__(
+        self,
+        ptable: PartitionedTable,
+        workload: WorkloadSpec,
+        sketch_config: SketchConfig | None = None,
+        picker_config: PickerConfig | None = None,
+    ) -> None:
+        workload.validate_against(ptable.schema)
+        self.ptable = ptable
+        self.workload = workload
+        self.picker_config = picker_config or PickerConfig()
+        # Offline: one pass over each partition at seal time.
+        self.statistics = build_dataset_statistics(ptable, sketch_config)
+        self.feature_builder = FeatureBuilder(
+            self.statistics, workload.groupby_universe
+        )
+        self.model: PickerModel | None = None
+        self.training_data: TrainingData | None = None
+        self._picker: PS3Picker | None = None
+
+    # -- training --------------------------------------------------------------
+
+    def fit(
+        self,
+        train_queries: list[Query],
+        training_config: TrainingConfig | None = None,
+        feature_selection_rounds: int = 0,
+    ) -> PS3:
+        """Train the picker on a workload sample (one-time, offline).
+
+        ``feature_selection_rounds > 0`` additionally runs Algorithm 3 to
+        prune clustering features (slower training, better clustering).
+        """
+        self.model, self.training_data = train_picker_model(
+            self.ptable, self.feature_builder, train_queries, training_config
+        )
+        if feature_selection_rounds > 0:
+            evaluator = ClusteringErrorEvaluator(
+                self.feature_builder.schema, self.training_data
+            )
+            self.model.excluded_families = greedy_feature_selection(
+                self.feature_builder.schema,
+                evaluator,
+                rounds=feature_selection_rounds,
+            )
+        self._picker = PS3Picker(self.model, self.statistics, self.picker_config)
+        return self
+
+    @property
+    def picker(self) -> PS3Picker:
+        if self._picker is None:
+            raise NotFittedError("call PS3.fit before querying")
+        return self._picker
+
+    # -- querying ----------------------------------------------------------------
+
+    def _resolve_budget(
+        self, budget_partitions: int | None, budget_fraction: float | None
+    ) -> int:
+        if (budget_partitions is None) == (budget_fraction is None):
+            raise ConfigError(
+                "pass exactly one of budget_partitions / budget_fraction"
+            )
+        if budget_fraction is not None:
+            if not 0.0 < budget_fraction <= 1.0:
+                raise ConfigError("budget_fraction must be in (0, 1]")
+            return max(1, int(round(budget_fraction * self.ptable.num_partitions)))
+        if budget_partitions is None or budget_partitions < 1:
+            raise ConfigError("budget_partitions must be >= 1")
+        return budget_partitions
+
+    def query(
+        self,
+        query: Query,
+        budget_partitions: int | None = None,
+        budget_fraction: float | None = None,
+    ) -> ApproximateAnswer:
+        """Answer ``query`` reading at most the budgeted partitions."""
+        budget = self._resolve_budget(budget_partitions, budget_fraction)
+        selection = self.picker.select(query, budget)
+        # Execute only on the selected partitions (the online I/O saving).
+        combined: dict = {}
+        for choice in selection.selection:
+            partition = self.ptable[choice.partition]
+            for key, vec in execute_on_partition(partition, query).items():
+                acc = combined.get(key)
+                if acc is None:
+                    combined[key] = choice.weight * vec
+                else:
+                    acc += choice.weight * vec
+        groups = finalize_answer(query, combined)
+        return ApproximateAnswer(
+            query=query,
+            groups=groups,
+            selection=selection,
+            budget=budget,
+            num_partitions=self.ptable.num_partitions,
+        )
+
+    def execute_exact(self, query: Query) -> FinalAnswer:
+        """The exact answer (full scan) for ground-truth comparison."""
+        return finalize_answer(query, true_answer(self.ptable, query))
+
+    def evaluate(self, query: Query, answer: ApproximateAnswer) -> ErrorReport:
+        """Score an approximate answer against the exact one."""
+        return evaluate_errors(self.execute_exact(query), answer.groups)
+
+    # -- append-only ingest ----------------------------------------------------
+
+    def append(self, new_columns: dict) -> int:
+        """Seal appended rows as a new partition and update statistics.
+
+        Matches the paper's append-only deployment (section 2.1): the new
+        partition gets sketches immediately and becomes selectable by the
+        *existing* trained picker (feature schema frozen). Returns the new
+        partition's index. Check :meth:`staleness` to decide when the
+        accumulated appends warrant retraining (section 7).
+        """
+        from repro.engine.layout import append_rows
+        from repro.sketches.builder import append_partition_statistics
+
+        self.ptable = append_rows(self.ptable, new_columns)
+        partition = self.ptable[self.ptable.num_partitions - 1]
+        append_partition_statistics(self.statistics, partition)
+        self.feature_builder.refresh()
+        if self._picker is not None:
+            self._picker.dataset = self.statistics
+        return partition.index
+
+    def staleness(self) -> StalenessReport:
+        """How far the dataset has drifted since the model was trained."""
+        from repro.sketches.builder import recompute_global_heavy_hitters
+
+        trained_on = (
+            len(self.training_data.contributions[0])
+            if self.training_data and self.training_data.contributions
+            else self.statistics.num_partitions
+        )
+        added = self.statistics.num_partitions - trained_on
+        fraction_new = added / max(self.statistics.num_partitions, 1)
+
+        fresh = recompute_global_heavy_hitters(self.statistics)
+        drifts = []
+        for column, frozen in self.statistics.global_heavy_hitters.items():
+            current = fresh.get(column, ())
+            union = set(frozen) | set(current)
+            if not union:
+                continue
+            overlap = len(set(frozen) & set(current)) / len(union)
+            drifts.append(1.0 - overlap)
+        drift = max(drifts) if drifts else 0.0
+        return StalenessReport(
+            partitions_added=added,
+            fraction_new=fraction_new,
+            heavy_hitter_drift=drift,
+            needs_retraining=fraction_new > 0.2 or drift > 0.5,
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def storage_overhead_bytes(self) -> float:
+        """Average per-partition sketch footprint (paper Table 4)."""
+        return self.statistics.average_partition_size_bytes()
+
+
+def answer_with_selection(
+    ptable: PartitionedTable, query: Query, selection
+) -> FinalAnswer:
+    """Weighted answer for an explicit selection (baseline evaluation)."""
+    answers = compute_partition_answers(ptable, query)
+    return estimate(query, answers, selection)

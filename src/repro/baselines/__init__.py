@@ -1,0 +1,26 @@
+"""Comparison methods from the paper's evaluation (section 5.1.3).
+
+* :class:`~repro.baselines.random_sampling.RandomSampler` — uniform
+  partition sampling, answers scaled by the sampling rate;
+* :class:`~repro.baselines.filtered_random.FilteredRandomSampler` — same,
+  restricted to partitions passing the ``selectivity_upper > 0`` filter;
+* :class:`~repro.baselines.lss.LSSSampler` — the modified Learned
+  Stratified Sampling baseline (Appendix C.1);
+* :class:`~repro.baselines.oracle.OraclePicker` — PS3 with the learned
+  funnel replaced by true contributions (Appendix C.2's upper bound).
+
+All expose ``select(query, budget) -> list[WeightedChoice]`` (the oracle,
+a full picker, returns a ``PickerSelection``).
+"""
+
+from repro.baselines.filtered_random import FilteredRandomSampler
+from repro.baselines.lss import LSSSampler
+from repro.baselines.oracle import OraclePicker
+from repro.baselines.random_sampling import RandomSampler
+
+__all__ = [
+    "FilteredRandomSampler",
+    "LSSSampler",
+    "OraclePicker",
+    "RandomSampler",
+]

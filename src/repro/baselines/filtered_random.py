@@ -1,0 +1,36 @@
+"""Random sampling over the selectivity filter (random+filter baseline).
+
+Identical to uniform partition sampling except that only partitions with
+``selectivity_upper > 0`` are eligible — achievable only with summary
+statistics, and a strict improvement for selective queries (paper
+section 5.2). Weights scale by ``|passing| / n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.combiner import WeightedChoice
+from repro.engine.query import Query
+from repro.stats.features import FeatureBuilder
+
+
+class FilteredRandomSampler:
+    """Uniform sampling among partitions that may satisfy the predicate."""
+
+    def __init__(self, feature_builder: FeatureBuilder, seed: int = 0) -> None:
+        self.feature_builder = feature_builder
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, query: Query, budget: int) -> list[WeightedChoice]:
+        if budget <= 0:
+            return []
+        features = self.feature_builder.features_for_query(query)
+        passing = features.passing_partitions()
+        if passing.size == 0:
+            return []
+        if budget >= passing.size:
+            return [WeightedChoice(int(p), 1.0) for p in passing]
+        chosen = self._rng.choice(passing, size=budget, replace=False)
+        weight = passing.size / budget
+        return [WeightedChoice(int(p), weight) for p in chosen]

@@ -1,0 +1,34 @@
+"""Uniform partition-level sampling (the paper's primary baseline).
+
+Partitions are sampled uniformly at random without replacement; the
+aggregates are scaled up by the inverse sampling rate ``N / n`` — the
+classical unbiased estimator for a random partition sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.combiner import WeightedChoice
+from repro.engine.query import Query
+from repro.errors import ConfigError
+
+
+class RandomSampler:
+    """Uniform partition sampling with N/n scaling."""
+
+    def __init__(self, num_partitions: int, seed: int = 0) -> None:
+        if num_partitions < 1:
+            raise ConfigError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, query: Query, budget: int) -> list[WeightedChoice]:
+        """``budget`` uniformly chosen partitions (query is ignored)."""
+        if budget <= 0:
+            return []
+        if budget >= self.num_partitions:
+            return [WeightedChoice(p, 1.0) for p in range(self.num_partitions)]
+        chosen = self._rng.choice(self.num_partitions, size=budget, replace=False)
+        weight = self.num_partitions / budget
+        return [WeightedChoice(int(p), weight) for p in chosen]

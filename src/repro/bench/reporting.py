@@ -1,0 +1,58 @@
+"""Plain-text reporting for benchmark results.
+
+Each benchmark prints the rows/series the corresponding paper table or
+figure reports and mirrors them into ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can cite stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_RESULTS_ENV = "REPRO_RESULTS_DIR"
+
+
+def results_dir() -> Path:
+    """Directory for result files (defaults to benchmarks/results)."""
+    configured = os.environ.get(_RESULTS_ENV)
+    if configured:
+        path = Path(configured)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    rendered = [[_format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 0.001 or abs(cell) >= 100_000):
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    (results_dir() / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,113 @@
+"""Cost-model cluster simulator (stand-in for SCOPE, paper Table 3).
+
+The paper measures query latency and total compute time on Microsoft's
+SCOPE clusters with tens of thousands of nodes. Offline we simulate the
+relevant cost structure: each selected partition becomes a task whose
+duration is I/O (partition size) plus CPU (rows processed), perturbed by a
+lognormal straggler factor; tasks are greedily scheduled (longest first)
+onto a bounded worker pool; a fixed job-startup overhead bounds latency
+gains. Total compute is the sum of task durations, so it scales almost
+linearly with partitions read, while latency improves sublinearly because
+of stragglers and startup — exactly the shape Table 3 reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SimOutcome:
+    """Result of simulating one query execution."""
+
+    latency_seconds: float
+    total_compute_seconds: float
+    num_tasks: int
+
+
+@dataclass(frozen=True)
+class ClusterSimulator:
+    """A fixed-size worker pool with per-task cost model.
+
+    Parameters
+    ----------
+    num_workers:
+        Parallel task slots (SCOPE jobs run wide; latency is bounded by
+        stragglers, not slots, until few partitions remain).
+    partition_read_seconds:
+        I/O seconds to fetch one partition.
+    row_cpu_seconds:
+        CPU seconds per row scanned.
+    startup_seconds:
+        Fixed job overhead added to latency (scheduling, compilation).
+    straggler_sigma:
+        Lognormal sigma of per-task slowdown (0 disables stragglers).
+    """
+
+    num_workers: int = 64
+    partition_read_seconds: float = 2.0
+    row_cpu_seconds: float = 2e-4
+    startup_seconds: float = 4.0
+    straggler_sigma: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
+        if self.straggler_sigma < 0:
+            raise ConfigError("straggler_sigma must be non-negative")
+
+    def task_durations(
+        self, partition_rows: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        base = (
+            self.partition_read_seconds
+            + self.row_cpu_seconds * np.asarray(partition_rows, dtype=np.float64)
+        )
+        if self.straggler_sigma == 0.0:
+            return base
+        stragglers = rng.lognormal(0.0, self.straggler_sigma, base.shape)
+        return base * stragglers
+
+    def simulate(
+        self, partition_rows: np.ndarray, rng: np.random.Generator | None = None
+    ) -> SimOutcome:
+        """Schedule one task per partition; return latency and compute."""
+        rng = rng or np.random.default_rng(0)
+        partition_rows = np.asarray(partition_rows)
+        if partition_rows.size == 0:
+            return SimOutcome(self.startup_seconds, 0.0, 0)
+        durations = self.task_durations(partition_rows, rng)
+        # Longest-processing-time greedy onto worker heap = makespan.
+        workers = [0.0] * min(self.num_workers, durations.size)
+        heapq.heapify(workers)
+        for duration in sorted(durations, reverse=True):
+            finish = heapq.heappop(workers) + float(duration)
+            heapq.heappush(workers, finish)
+        makespan = max(workers)
+        return SimOutcome(
+            latency_seconds=self.startup_seconds + makespan,
+            total_compute_seconds=float(durations.sum()),
+            num_tasks=int(durations.size),
+        )
+
+    def speedups(
+        self,
+        all_partition_rows: np.ndarray,
+        selected: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[float, float]:
+        """(latency speedup, compute speedup) of a selection vs full scan."""
+        rng = rng or np.random.default_rng(0)
+        full = self.simulate(all_partition_rows, rng)
+        part = self.simulate(np.asarray(all_partition_rows)[selected], rng)
+        compute = (
+            full.total_compute_seconds / part.total_compute_seconds
+            if part.total_compute_seconds
+            else float("inf")
+        )
+        return full.latency_seconds / part.latency_seconds, compute

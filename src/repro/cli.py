@@ -1,0 +1,240 @@
+"""Command-line interface for the PS3 reproduction.
+
+Because every dataset in this repository is a seeded synthetic generator,
+a *deployment* is fully described by a small manifest (dataset name, row
+count, partition count, layout, seed) plus the persisted statistics and
+model files. The CLI manages that lifecycle::
+
+    ps3-repro info
+    ps3-repro train --dataset tpch --rows 20000 --partitions 64 \
+        --train-queries 32 --out ./deploy
+    ps3-repro query --deploy ./deploy --budget 0.1 \
+        "SELECT SUM(l_extendedprice), COUNT(*) GROUP BY l_returnflag"
+    ps3-repro evaluate --deploy ./deploy --budget 0.1 --queries 10
+
+``train`` writes ``manifest.json``, ``stats.ps3stats`` and
+``model.json``; ``query`` and ``evaluate`` rebuild the table from the
+manifest and answer through the trained picker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.metrics import evaluate_errors, mean_report
+from repro.core.picker import PickerConfig, PS3Picker
+from repro.core.training import TrainingConfig
+from repro.datasets.registry import DATASETS, get_dataset
+from repro.engine.combiner import finalize_answer
+from repro.engine.executor import execute_on_partition, true_answer
+from repro.engine.sql import parse_query
+from repro.errors import ReproError
+from repro.storage import load_model, load_statistics, save_model, save_statistics
+from repro.workload.generator import QueryGenerator
+
+_MANIFEST = "manifest.json"
+_STATS = "stats.ps3stats"
+_MODEL = "model.json"
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print("datasets:")
+    for name, spec in DATASETS.items():
+        workload = spec.workload()
+        print(
+            f"  {name:6s} layouts={', '.join(spec.layout_names())} "
+            f"(default {spec.default_layout}); "
+            f"{len(workload.groupby_universe)} group-by columns, "
+            f"{len(workload.aggregate_columns)} aggregate columns"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.api import PS3
+
+    spec = get_dataset(args.dataset)
+    layout = args.layout or spec.default_layout
+    print(
+        f"building {args.dataset} ({args.rows} rows, {args.partitions} "
+        f"partitions, layout={layout}, seed={args.seed})..."
+    )
+    ptable = spec.build(args.rows, args.partitions, layout, seed=args.seed)
+    workload = spec.workload()
+    generator = QueryGenerator(workload, ptable.table, seed=args.seed + 1)
+    train_queries = generator.sample_queries(args.train_queries)
+    print(f"training on {len(train_queries)} workload queries...")
+    system = PS3(ptable, workload).fit(
+        train_queries, TrainingConfig(seed=args.seed)
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    save_statistics(system.statistics, out / _STATS)
+    save_model(system.model, out / _MODEL)
+    (out / _MANIFEST).write_text(
+        json.dumps(
+            {
+                "dataset": args.dataset,
+                "rows": args.rows,
+                "partitions": args.partitions,
+                "layout": layout,
+                "seed": args.seed,
+                "train_queries": args.train_queries,
+            },
+            indent=2,
+        )
+    )
+    size_kb = system.storage_overhead_bytes() / 1024
+    print(f"saved deployment to {out} ({size_kb:.1f} KB statistics/partition)")
+    return 0
+
+
+def _load_deployment(deploy: str):
+    directory = Path(deploy)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    spec = get_dataset(manifest["dataset"])
+    ptable = spec.build(
+        manifest["rows"],
+        manifest["partitions"],
+        manifest["layout"],
+        seed=manifest["seed"],
+    )
+    statistics = load_statistics(directory / _STATS)
+    model = load_model(directory / _MODEL, statistics)
+    picker = PS3Picker(model, statistics, PickerConfig(seed=manifest["seed"]))
+    return manifest, spec, ptable, picker
+
+
+def _resolve_budget(budget: float, num_partitions: int) -> int:
+    if budget >= 1.0:
+        return int(budget)
+    return max(1, int(round(budget * num_partitions)))
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    manifest, __, ptable, picker = _load_deployment(args.deploy)
+    query = parse_query(args.sql, ptable.schema)
+    budget = _resolve_budget(args.budget, ptable.num_partitions)
+    result = picker.select(query, budget)
+    combined: dict = {}
+    for choice in result.selection:
+        for key, vec in execute_on_partition(
+            ptable[choice.partition], query
+        ).items():
+            acc = combined.get(key)
+            combined[key] = choice.weight * vec if acc is None else acc + choice.weight * vec
+    answer = finalize_answer(query, combined)
+    labels = [a.label() for a in query.aggregates]
+    print(
+        f"read {len(result.selection)}/{ptable.num_partitions} partitions "
+        f"({len(result.outliers)} outliers) in {result.total_seconds * 1e3:.1f} ms"
+    )
+    header = ["group"] + labels
+    print("\t".join(header))
+    for key in sorted(answer, key=repr):
+        rendered = [repr(key)] + [f"{v:.4f}" for v in answer[key]]
+        print("\t".join(rendered))
+    if args.exact:
+        exact = finalize_answer(query, true_answer(ptable, query))
+        report = evaluate_errors(exact, answer)
+        print(
+            f"vs exact: avg rel err {report.avg_relative_error:.4f}, "
+            f"missed groups {report.missed_groups:.4f}"
+        )
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    manifest, spec, ptable, picker = _load_deployment(args.deploy)
+    workload = spec.workload()
+    generator = QueryGenerator(
+        workload, ptable.table, seed=manifest["seed"] + 999
+    )
+    queries = generator.sample_queries(args.queries)
+    budget = _resolve_budget(args.budget, ptable.num_partitions)
+    reports = []
+    for query in queries:
+        result = picker.select(query, budget)
+        combined: dict = {}
+        for choice in result.selection:
+            for key, vec in execute_on_partition(
+                ptable[choice.partition], query
+            ).items():
+                acc = combined.get(key)
+                combined[key] = (
+                    choice.weight * vec if acc is None else acc + choice.weight * vec
+                )
+        answer = finalize_answer(query, combined)
+        exact = finalize_answer(query, true_answer(ptable, query))
+        reports.append(evaluate_errors(exact, answer))
+    mean = mean_report(reports)
+    print(
+        f"{len(queries)} random workload queries @ {budget} partitions: "
+        f"avg rel err {mean.avg_relative_error:.4f}, "
+        f"missed groups {mean.missed_groups:.4f}, "
+        f"abs/true {mean.abs_over_true:.4f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ps3-repro",
+        description="PS3 (VLDB'20) reproduction: train and query deployments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets, layouts, and workloads")
+
+    train = sub.add_parser("train", help="build statistics and train a picker")
+    train.add_argument("--dataset", required=True, choices=sorted(DATASETS))
+    train.add_argument("--rows", type=int, default=20_000)
+    train.add_argument("--partitions", type=int, default=64)
+    train.add_argument("--layout", default=None)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--train-queries", type=int, default=32)
+    train.add_argument("--out", required=True, help="deployment directory")
+
+    query = sub.add_parser("query", help="answer one SQL query approximately")
+    query.add_argument("--deploy", required=True)
+    query.add_argument(
+        "--budget",
+        type=float,
+        default=0.1,
+        help="fraction (<1) or absolute number (>=1) of partitions",
+    )
+    query.add_argument("--exact", action="store_true", help="also report error")
+    query.add_argument("sql")
+
+    evaluate = sub.add_parser(
+        "evaluate", help="average error over random workload queries"
+    )
+    evaluate.add_argument("--deploy", required=True)
+    evaluate.add_argument("--budget", type=float, default=0.1)
+    evaluate.add_argument("--queries", type=int, default=10)
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "train": _cmd_train,
+    "query": _cmd_query,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Sampling-budget allocation across importance groups (paper section 4.3).
+
+Groups are ordered least-important first. Group ``i`` (0-based) samples at
+rate ``r * alpha^i`` — the rate *decays* by ``alpha > 1`` from each group
+to the next-less-important one, i.e. grows toward the most important
+group. The base rate ``r`` is found by waterfilling so the integer
+allocations (each capped at its group's size) sum to the budget; leftover
+slots from capped groups spill toward the most important groups first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _continuous_total(sizes: np.ndarray, rates: np.ndarray, r: float) -> float:
+    return float(np.minimum(sizes, r * rates * sizes).sum())
+
+
+def allocate_samples(
+    group_sizes: list[int], budget: int, alpha: float
+) -> list[int]:
+    """Integer sample counts per group (least-important group first).
+
+    Guarantees ``sum(result) == min(budget, sum(group_sizes))`` and
+    ``result[i] <= group_sizes[i]`` for every group. Nonempty groups
+    receive at least one sample when the budget permits, so no importance
+    stratum is starved entirely.
+    """
+    if alpha < 1.0:
+        raise ConfigError("alpha must be >= 1")
+    if budget < 0:
+        raise ConfigError("budget must be non-negative")
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    if np.any(sizes < 0):
+        raise ConfigError("group sizes must be non-negative")
+    total_size = int(sizes.sum())
+    if budget >= total_size:
+        return [int(s) for s in sizes]
+    if budget == 0 or total_size == 0:
+        return [0] * len(sizes)
+
+    ranks = np.arange(len(sizes), dtype=np.float64)
+    rates = alpha**ranks
+
+    # Waterfill the continuous base rate r.
+    lo, hi = 0.0, 1.0
+    while _continuous_total(sizes, rates, hi) < budget:
+        hi *= 2.0
+    for __ in range(60):
+        mid = (lo + hi) / 2.0
+        if _continuous_total(sizes, rates, mid) < budget:
+            lo = mid
+        else:
+            hi = mid
+    continuous = np.minimum(sizes, hi * rates * sizes)
+
+    counts = np.floor(continuous).astype(int)
+    # Give every nonempty group at least one sample if budget allows.
+    nonempty = sizes > 0
+    if counts.sum() + int((counts[nonempty] == 0).sum()) <= budget:
+        counts[nonempty & (counts == 0)] = 1
+    # Distribute the remainder most-important-first.
+    remainder = budget - int(counts.sum())
+    order = np.argsort(-ranks)  # most important group first
+    idx = 0
+    while remainder > 0:
+        g = order[idx % len(order)]
+        if counts[g] < sizes[g]:
+            counts[g] += 1
+            remainder -= 1
+        idx += 1
+        if idx > 10 * len(order) * (budget + 1):  # pragma: no cover
+            raise ConfigError("allocation failed to converge")
+    # Floor+minimums can only overshoot via the at-least-one rule; trim
+    # least-important-first.
+    idx = 0
+    while counts.sum() > budget:
+        g = idx % len(order)
+        if counts[g] > 0:
+            counts[g] -= 1
+        idx += 1
+    return [int(c) for c in counts]

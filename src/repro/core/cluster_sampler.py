@@ -1,0 +1,118 @@
+"""Sample selection via clustering (paper section 4.2).
+
+Given a sampling budget of ``n`` partitions, cluster the candidates'
+(normalized, query-masked) feature vectors into ``n`` clusters and pick
+one exemplar per cluster, weighted by the cluster's size. Clusters play
+the role of strata: redundancy between near-identical partitions collapses
+into a single read.
+
+Two exemplar rules are provided (Appendix D.1):
+
+* ``median`` — the partition whose feature vector is closest to the
+  cluster's element-wise median; deterministic, biased, and empirically
+  better at small budgets (the paper's default);
+* ``random`` — a uniformly random cluster member, which unbiases the
+  estimator at the cost of variance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.combiner import WeightedChoice
+from repro.errors import ConfigError
+from repro.ml.hac import agglomerative
+from repro.ml.kmeans import KMeans
+
+CLUSTER_ALGORITHMS = ("kmeans", "hac-ward", "hac-single", "hac-complete", "hac-average")
+
+
+def _cluster_labels(
+    matrix: np.ndarray, n_clusters: int, algorithm: str, seed: int
+) -> np.ndarray:
+    if algorithm == "kmeans":
+        return KMeans(n_clusters=n_clusters, seed=seed).fit_predict(matrix)
+    if algorithm.startswith("hac-"):
+        return agglomerative(matrix, n_clusters, linkage=algorithm[4:])
+    raise ConfigError(
+        f"unknown clustering algorithm {algorithm!r}; "
+        f"choose from {CLUSTER_ALGORITHMS}"
+    )
+
+
+def _median_exemplar(matrix: np.ndarray, members: np.ndarray) -> int:
+    """Member index closest (L2) to the cluster's element-wise median."""
+    cluster = matrix[members]
+    median = np.median(cluster, axis=0)
+    distances = np.linalg.norm(cluster - median, axis=1)
+    return int(members[int(distances.argmin())])
+
+
+def cluster_sample(
+    matrix: np.ndarray,
+    candidates: np.ndarray,
+    budget: int,
+    algorithm: str = "kmeans",
+    exemplar: str = "median",
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> list[WeightedChoice]:
+    """Select ``budget`` weighted partitions from ``candidates``.
+
+    Parameters
+    ----------
+    matrix:
+        Full normalized feature matrix (indexed by partition id).
+    candidates:
+        Partition ids eligible for selection.
+    budget:
+        Number of partitions to return (clusters to form).
+    algorithm:
+        One of :data:`CLUSTER_ALGORITHMS`.
+    exemplar:
+        ``median`` (deterministic, biased) or ``random`` (unbiased).
+    """
+    if exemplar not in ("median", "random"):
+        raise ConfigError("exemplar must be 'median' or 'random'")
+    candidates = np.asarray(candidates, dtype=np.intp)
+    if budget <= 0 or candidates.size == 0:
+        return []
+    if budget >= candidates.size:
+        return [WeightedChoice(int(p), 1.0) for p in candidates]
+    if exemplar == "random" and rng is None:
+        rng = np.random.default_rng(seed)
+
+    sub = matrix[candidates]
+    labels = _cluster_labels(sub, budget, algorithm, seed)
+    selection: list[WeightedChoice] = []
+    for cluster_id in np.unique(labels):
+        members = np.flatnonzero(labels == cluster_id)
+        if exemplar == "median":
+            local = _median_exemplar(sub, members)
+        else:
+            local = int(members[int(rng.integers(members.size))])
+        selection.append(
+            WeightedChoice(int(candidates[local]), float(members.size))
+        )
+    return selection
+
+
+def random_sample(
+    candidates: np.ndarray,
+    budget: int,
+    rng: np.random.Generator,
+) -> list[WeightedChoice]:
+    """Uniform fallback: sample without replacement, scale by N/n.
+
+    Used when clustering is disabled (lesion study) or inapplicable —
+    predicates with more than 10 clauses make the per-partition features
+    unrepresentative (Appendix B.1's failure case).
+    """
+    candidates = np.asarray(candidates, dtype=np.intp)
+    if budget <= 0 or candidates.size == 0:
+        return []
+    if budget >= candidates.size:
+        return [WeightedChoice(int(p), 1.0) for p in candidates]
+    chosen = rng.choice(candidates, size=budget, replace=False)
+    weight = candidates.size / budget
+    return [WeightedChoice(int(p), weight) for p in chosen]

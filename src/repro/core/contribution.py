@@ -1,0 +1,60 @@
+"""Partition contribution (paper section 4.3).
+
+The contribution of partition *i* to a query is its largest relative
+contribution to any group and any aggregate component in the answer:
+
+    contribution_i = max_{g in G} max_j ( A_{g,i}[j] / A_g[j] )
+
+The max-of-relatives is deliberately generous: it credits a partition for
+helping *any* aggregate of *any* group, without bias toward large groups.
+Contributions are computed on the linear SUM/COUNT components (DESIGN.md
+section 5 notes why: AVG ratios are ill-defined per partition), using
+absolute values so signed measures such as ``cs_net_profit`` behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.executor import ComponentAnswer
+
+
+def partition_contributions(
+    partition_answers: list[ComponentAnswer],
+    total_answer: ComponentAnswer | None = None,
+) -> np.ndarray:
+    """Per-partition contribution scalars in [0, 1].
+
+    Parameters
+    ----------
+    partition_answers:
+        Component answers per partition (index = partition id).
+    total_answer:
+        The exact combined answer; computed by summation when omitted.
+    """
+    if total_answer is None:
+        total_answer = {}
+        for answer in partition_answers:
+            for key, vec in answer.items():
+                acc = total_answer.get(key)
+                if acc is None:
+                    total_answer[key] = vec.copy()
+                else:
+                    acc += vec
+    # Guard groups whose component totals are zero (nothing to attribute).
+    denominators = {
+        key: np.where(np.abs(vec) > 0.0, np.abs(vec), np.inf)
+        for key, vec in total_answer.items()
+    }
+    out = np.zeros(len(partition_answers), dtype=np.float64)
+    for i, answer in enumerate(partition_answers):
+        best = 0.0
+        for key, vec in answer.items():
+            denom = denominators.get(key)
+            if denom is None:
+                continue
+            ratio = float((np.abs(vec) / denom).max())
+            if ratio > best:
+                best = ratio
+        out[i] = min(best, 1.0)
+    return out

@@ -1,0 +1,42 @@
+"""Importance grouping funnel (paper Algorithm 2 and Figure 2).
+
+Partitions that pass the predicate filter enter a funnel of trained
+regressors, each more selective than the last. A partition advances while
+models keep scoring it positive; where it stops determines its importance
+group. Requiring *every* earlier filter to pass limits the damage an
+inaccurate later model can do.
+
+The returned list orders groups least-important first (index 0 = passed
+the filter but no model), matching what the budget allocator expects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.gbrt import GBRTRegressor
+
+
+def importance_groups(
+    matrix: np.ndarray,
+    candidates: np.ndarray,
+    regressors: list[GBRTRegressor],
+) -> list[np.ndarray]:
+    """Sort ``candidates`` into ``len(regressors) + 1`` importance groups.
+
+    ``matrix`` is the normalized feature matrix indexed by partition id.
+    Empty groups are kept (as empty arrays) so group index always encodes
+    importance rank.
+    """
+    candidates = np.asarray(candidates, dtype=np.intp)
+    groups: list[np.ndarray] = [candidates]
+    for regressor in regressors:
+        tail = groups[-1]
+        if tail.size == 0:
+            groups.append(tail)
+            continue
+        scores = regressor.predict(matrix[tail])
+        advancing = tail[scores > 0.0]
+        groups[-1] = tail[scores <= 0.0]
+        groups.append(advancing)
+    return groups

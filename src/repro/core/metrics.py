@@ -1,0 +1,90 @@
+"""Error metrics (paper section 5.1.4).
+
+Three complementary views, because a method can score a small absolute
+error while missing every small group:
+
+* **missed groups** — fraction of true groups absent from the estimate;
+* **average relative error** — mean over (group, aggregate) of
+  ``|est - true| / |true|``, counting missed groups as 1;
+* **absolute error over true** — per aggregate, mean absolute error across
+  groups divided by the mean absolute true value, averaged over aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.combiner import FinalAnswer
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """The three error metrics for one (query, estimate) pair."""
+
+    missed_groups: float
+    avg_relative_error: float
+    abs_over_true: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "missed_groups": self.missed_groups,
+            "avg_relative_error": self.avg_relative_error,
+            "abs_over_true": self.abs_over_true,
+        }
+
+
+def evaluate_errors(truth: FinalAnswer, estimate: FinalAnswer) -> ErrorReport:
+    """Compare an approximate answer against the exact answer.
+
+    Groups present only in the estimate (possible when weighting scales a
+    spurious partition) are ignored, matching the paper's metrics which
+    are defined over the true answer's groups.
+    """
+    if not truth:
+        # An empty true answer is exactly approximated by an empty estimate.
+        missed = 0.0 if not estimate else 0.0
+        return ErrorReport(missed, 0.0, 0.0)
+
+    keys = list(truth)
+    num_aggs = len(next(iter(truth.values())))
+    true_matrix = np.vstack([truth[k] for k in keys])
+    est_matrix = np.zeros_like(true_matrix)
+    present = np.zeros(len(keys), dtype=bool)
+    for i, key in enumerate(keys):
+        vec = estimate.get(key)
+        if vec is not None:
+            est_matrix[i] = vec
+            present[i] = True
+
+    missed = float(1.0 - present.mean())
+
+    # Average relative error: missed groups count as 1 per aggregate.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.abs(est_matrix - true_matrix) / np.abs(true_matrix)
+    rel = np.where(np.abs(true_matrix) > 0.0, rel, np.abs(est_matrix) > 0.0)
+    rel[~present] = 1.0
+    avg_rel = float(rel.mean())
+
+    # Absolute error over true, per aggregate then averaged.
+    abs_err = np.abs(est_matrix - true_matrix).mean(axis=0)
+    true_scale = np.abs(true_matrix).mean(axis=0)
+    ratios = np.divide(
+        abs_err,
+        true_scale,
+        out=np.zeros(num_aggs, dtype=np.float64),
+        where=true_scale > 0.0,
+    )
+    return ErrorReport(missed, avg_rel, float(ratios.mean()))
+
+
+def mean_report(reports: list[ErrorReport]) -> ErrorReport:
+    """Average the three metrics over a set of queries."""
+    if not reports:
+        return ErrorReport(0.0, 0.0, 0.0)
+    return ErrorReport(
+        float(np.mean([r.missed_groups for r in reports])),
+        float(np.mean([r.avg_relative_error for r in reports])),
+        float(np.mean([r.abs_over_true for r in reports])),
+    )

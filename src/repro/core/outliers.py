@@ -1,0 +1,63 @@
+"""Outlier-partition identification (paper section 4.4).
+
+Partitions containing a *rare distribution of groups* are poor clustering
+citizens and precious for GROUP BY accuracy, so PS3 evaluates them exactly
+(weight 1) out of a reserved slice of the budget. Rarity is judged on the
+heavy-hitter occurrence bitmaps of the query's grouping columns: group
+partitions by identical bitmap signature; a signature group is outlying if
+it is small both absolutely (< 10 partitions) and relatively (< 10% of the
+largest signature group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sketches.builder import DatasetStatistics
+from repro.stats.bitmap import bitmap_signature
+
+
+@dataclass(frozen=True)
+class OutlierConfig:
+    """Thresholds from section 4.4."""
+
+    max_absolute_size: int = 10  # signature groups smaller than this ...
+    max_relative_size: float = 0.10  # ... and smaller than this x largest
+
+
+def find_outliers(
+    dataset: DatasetStatistics,
+    group_by: tuple[str, ...],
+    candidates: np.ndarray,
+    config: OutlierConfig | None = None,
+) -> np.ndarray:
+    """Outlier partition ids among ``candidates`` for a GROUP BY columnset.
+
+    Queries without a GROUP BY have no rare-group notion: returns empty.
+    Outliers are ordered rarest-signature-first so a capped budget keeps
+    the most unusual partitions.
+    """
+    config = config or OutlierConfig()
+    columns = tuple(c for c in group_by if dataset.global_heavy_hitters.get(c))
+    if not columns or candidates.size == 0:
+        return np.empty(0, dtype=np.intp)
+
+    signature_groups: dict[tuple, list[int]] = {}
+    for partition in candidates:
+        signature = bitmap_signature(dataset, int(partition), columns)
+        signature_groups.setdefault(signature, []).append(int(partition))
+
+    largest = max(len(group) for group in signature_groups.values())
+    threshold = min(
+        config.max_absolute_size, config.max_relative_size * largest
+    )
+    outlying = [
+        group
+        for group in signature_groups.values()
+        if len(group) < threshold
+    ]
+    outlying.sort(key=len)  # rarest signatures first
+    flat = [p for group in outlying for p in group]
+    return np.asarray(flat, dtype=np.intp)

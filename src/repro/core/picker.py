@@ -1,0 +1,238 @@
+"""The PS3 partition picker (paper Algorithm 1).
+
+Given a query, the summary-statistics features, and a budget of ``n``
+partitions, the picker:
+
+1. filters to partitions that can satisfy the predicate
+   (``selectivity_upper > 0`` — perfect recall, variable precision);
+2. reserves up to 10% of the budget for *outlier* partitions with rare
+   group distributions, each evaluated exactly at weight 1 (section 4.4);
+3. funnels the remaining partitions through the trained regressors into
+   importance groups (section 4.3);
+4. splits the remaining budget across groups with decay rate ``alpha``;
+5. inside each group, selects samples by clustering the feature vectors
+   and picking one weighted exemplar per cluster (section 4.2), falling
+   back to uniform sampling for predicates with more than 10 clauses
+   (Appendix B.1) or when a lesion disables clustering.
+
+The lesion switches (``use_clustering``, ``use_outliers``,
+``use_regressors``) exist for the paper's Figure 4 study and default on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import allocate_samples
+from repro.core.cluster_sampler import cluster_sample, random_sample
+from repro.core.importance import importance_groups
+from repro.core.outliers import OutlierConfig, find_outliers
+from repro.core.training import PickerModel
+from repro.engine.combiner import WeightedChoice
+from repro.engine.query import Query
+from repro.errors import ConfigError
+from repro.sketches.builder import DatasetStatistics
+
+
+@dataclass(frozen=True)
+class PickerConfig:
+    """Online-picker knobs (paper defaults: k=4 via the model, alpha=2)."""
+
+    alpha: float = 2.0
+    outlier_budget_fraction: float = 0.10
+    clustering_algorithm: str = "kmeans"
+    exemplar: str = "median"
+    max_clauses_for_clustering: int = 10
+    use_clustering: bool = True
+    use_outliers: bool = True
+    use_regressors: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.outlier_budget_fraction <= 1.0:
+            raise ConfigError("outlier_budget_fraction must be in [0, 1]")
+
+
+def _merge_unsampled_groups(
+    groups: list[np.ndarray], budgets: list[int]
+) -> tuple[list[np.ndarray], list[int]]:
+    """Fold zero-budget, nonempty groups into a sampled neighbour.
+
+    Preference order: the next more-important sampled group, else the
+    nearest less-important one. If no group received any budget, the
+    original lists are returned unchanged (outliers consumed everything).
+    """
+    if not any(budgets):
+        return groups, budgets
+    merged = [g.copy() for g in groups]
+    out_budgets = list(budgets)
+    for index, (members, budget) in enumerate(zip(merged, out_budgets)):
+        if budget > 0 or members.size == 0:
+            continue
+        target = next(
+            (j for j in range(index + 1, len(merged)) if out_budgets[j] > 0),
+            None,
+        )
+        if target is None:
+            target = next(
+                j for j in range(index - 1, -1, -1) if out_budgets[j] > 0
+            )
+        merged[target] = np.concatenate([merged[target], members])
+        merged[index] = members[:0]
+    return merged, out_budgets
+
+
+@dataclass
+class PickerSelection:
+    """The weighted partition choices plus diagnostics."""
+
+    selection: list[WeightedChoice]
+    outliers: list[int] = field(default_factory=list)
+    group_sizes: list[int] = field(default_factory=list)
+    group_budgets: list[int] = field(default_factory=list)
+    used_clustering: bool = False
+    total_seconds: float = 0.0
+    clustering_seconds: float = 0.0
+
+    @property
+    def partitions(self) -> list[int]:
+        return [choice.partition for choice in self.selection]
+
+
+class PS3Picker:
+    """Online partition picker bound to a trained model and statistics."""
+
+    def __init__(
+        self,
+        model: PickerModel,
+        dataset: DatasetStatistics,
+        config: PickerConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or PickerConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self._cluster_columns = model.clustering_feature_indices()
+
+    # -- internals ------------------------------------------------------------
+
+    def _group_inliers(
+        self, query: Query, normalized: np.ndarray, inliers: np.ndarray
+    ) -> list[np.ndarray]:
+        """Importance grouping, least-important group first.
+
+        Overridable: the oracle baseline (Appendix C.2) replaces the
+        learned funnel with true contributions.
+        """
+        if self.config.use_regressors and self.model.regressors:
+            return importance_groups(normalized, inliers, self.model.regressors)
+        return [inliers]
+
+    def _sample_within_group(
+        self,
+        normalized: np.ndarray,
+        members: np.ndarray,
+        budget: int,
+        clustering_ok: bool,
+        seed: int,
+    ) -> tuple[list[WeightedChoice], float]:
+        """(weighted choices, clustering seconds) for one importance group."""
+        if budget <= 0 or members.size == 0:
+            return [], 0.0
+        if not clustering_ok:
+            return random_sample(members, budget, self._rng), 0.0
+        started = time.perf_counter()
+        choices = cluster_sample(
+            normalized[:, self._cluster_columns],
+            members,
+            budget,
+            algorithm=self.config.clustering_algorithm,
+            exemplar=self.config.exemplar,
+            seed=seed,
+            rng=self._rng,
+        )
+        return choices, time.perf_counter() - started
+
+    # -- public API -----------------------------------------------------------
+
+    def select(self, query: Query, budget: int) -> PickerSelection:
+        """Choose ``budget`` weighted partitions for ``query``.
+
+        The returned selection may be smaller than the budget when fewer
+        partitions can satisfy the predicate (the answer is then exact).
+        """
+        if budget < 0:
+            raise ConfigError("budget must be non-negative")
+        started = time.perf_counter()
+        features = self.model.feature_builder.features_for_query(query)
+        normalized = self.model.normalizer.transform(features.matrix)
+        passing = features.passing_partitions()
+
+        if budget == 0 or passing.size == 0:
+            return PickerSelection(
+                selection=[], total_seconds=time.perf_counter() - started
+            )
+        if budget >= passing.size:
+            return PickerSelection(
+                selection=[WeightedChoice(int(p), 1.0) for p in passing],
+                total_seconds=time.perf_counter() - started,
+            )
+
+        # Step 1: outliers (weight 1 each, up to 10% of the budget).
+        outliers: np.ndarray = np.empty(0, dtype=np.intp)
+        if self.config.use_outliers and query.group_by:
+            candidates = find_outliers(
+                self.dataset, query.group_by, passing, OutlierConfig()
+            )
+            # "Up to 10% of the sampling budget" (section 4.4): floor, so
+            # tiny budgets are not halved by a single outlier read.
+            cap = int(np.floor(self.config.outlier_budget_fraction * budget))
+            outliers = candidates[:cap]
+        selection = [WeightedChoice(int(p), 1.0) for p in outliers]
+        inliers = np.setdiff1d(passing, outliers, assume_unique=False)
+        remaining = budget - outliers.size
+
+        # Step 2: importance funnel.
+        groups = self._group_inliers(query, normalized, inliers)
+
+        # Step 3: budget split with decay alpha.
+        group_sizes = [int(g.size) for g in groups]
+        group_budgets = allocate_samples(group_sizes, remaining, self.config.alpha)
+        # A group allocated zero samples would silently drop its weight
+        # mass from the estimator (its partitions go unrepresented). Fold
+        # such groups into the nearest sampled, more-important group so
+        # the weighted selection always covers every passing partition.
+        groups, group_budgets = _merge_unsampled_groups(groups, group_budgets)
+
+        # Step 4: per-group sample selection.
+        clustering_ok = (
+            self.config.use_clustering
+            and query.num_predicate_clauses()
+            <= self.config.max_clauses_for_clustering
+        )
+        clustering_seconds = 0.0
+        for group_index, (members, group_budget) in enumerate(
+            zip(groups, group_budgets)
+        ):
+            choices, seconds = self._sample_within_group(
+                normalized,
+                members,
+                group_budget,
+                clustering_ok,
+                seed=self.config.seed + group_index,
+            )
+            selection.extend(choices)
+            clustering_seconds += seconds
+
+        return PickerSelection(
+            selection=selection,
+            outliers=[int(p) for p in outliers],
+            group_sizes=group_sizes,
+            group_budgets=group_budgets,
+            used_clustering=clustering_ok,
+            total_seconds=time.perf_counter() - started,
+            clustering_seconds=clustering_seconds,
+        )

@@ -1,0 +1,179 @@
+"""Offline picker training (paper sections 2.3.2 and 4.3, Appendix B.2).
+
+For each training query we compute the per-partition feature matrix and
+the exact per-partition answers, derive contribution scalars, and fit a
+funnel of ``k`` GBRT regressors at exponentially spaced contribution
+thresholds. Training is a one-time cost per (dataset, layout, workload);
+the same models serve all test queries.
+
+The intermediate artifacts (features, answers, contributions) are returned
+as :class:`TrainingData` because the LSS baseline, the feature-selection
+procedure, and several benchmarks reuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.contribution import partition_contributions
+from repro.core.labels import exponential_thresholds, labels_for_query
+from repro.engine.executor import ComponentAnswer, compute_partition_answers
+from repro.engine.query import Query
+from repro.engine.table import PartitionedTable
+from repro.errors import ConfigError
+from repro.ml.gbrt import GBRTRegressor
+from repro.stats.features import FeatureBuilder
+from repro.stats.normalization import Normalizer
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters of the learned component (paper defaults)."""
+
+    num_models: int = 4  # k regressors in the funnel
+    top_fraction: float = 0.01  # last model targets the top 1%
+    label_scale: float = 1.0  # c in Algorithm 4
+    gbrt_trees: int = 30
+    gbrt_depth: int = 3
+    gbrt_learning_rate: float = 0.3
+    gbrt_colsample: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_models < 1:
+            raise ConfigError("num_models must be >= 1")
+        if not 0.0 < self.top_fraction <= 1.0:
+            raise ConfigError("top_fraction must be in (0, 1]")
+
+
+@dataclass
+class TrainingData:
+    """Per-training-query artifacts, reusable by baselines and benches."""
+
+    queries: list[Query]
+    features: list[np.ndarray]  # raw feature matrices, one per query
+    normalized: list[np.ndarray]  # normalizer-transformed matrices
+    answers: list[list[ComponentAnswer]]  # per-partition answers per query
+    contributions: list[np.ndarray]  # contribution scalars per query
+
+
+@dataclass
+class PickerModel:
+    """Everything the online picker needs, produced by training."""
+
+    feature_builder: FeatureBuilder
+    normalizer: Normalizer
+    regressors: list[GBRTRegressor]
+    thresholds: np.ndarray
+    excluded_families: frozenset[str] = field(default_factory=frozenset)
+
+    def clustering_feature_indices(self) -> np.ndarray:
+        """Feature columns the clustering component uses.
+
+        Feature selection (Algorithm 3) excludes whole families from
+        clustering only — the regressors always see the full vector.
+        """
+        schema = self.feature_builder.schema
+        keep = [
+            info.index
+            for info in schema.features
+            if info.family not in self.excluded_families
+        ]
+        return np.asarray(keep, dtype=np.intp)
+
+
+def compute_training_data(
+    ptable: PartitionedTable,
+    feature_builder: FeatureBuilder,
+    queries: list[Query],
+) -> TrainingData:
+    """Features, answers, and contributions for a set of queries.
+
+    The normalized matrices are filled in by :func:`train_picker_model`
+    once the normalizer has been fitted.
+    """
+    features: list[np.ndarray] = []
+    answers: list[list[ComponentAnswer]] = []
+    contributions: list[np.ndarray] = []
+    for query in queries:
+        query_features = feature_builder.features_for_query(query)
+        partition_answers = compute_partition_answers(ptable, query)
+        features.append(query_features.matrix)
+        answers.append(partition_answers)
+        contributions.append(partition_contributions(partition_answers))
+    return TrainingData(
+        queries=list(queries),
+        features=features,
+        normalized=[],
+        answers=answers,
+        contributions=contributions,
+    )
+
+
+def train_picker_model(
+    ptable: PartitionedTable,
+    feature_builder: FeatureBuilder,
+    train_queries: list[Query],
+    config: TrainingConfig | None = None,
+) -> tuple[PickerModel, TrainingData]:
+    """Fit the normalizer and the k-regressor funnel on a training workload."""
+    config = config or TrainingConfig()
+    if not train_queries:
+        raise ConfigError("training requires at least one query")
+
+    data = compute_training_data(ptable, feature_builder, train_queries)
+    normalizer = Normalizer(feature_builder.schema)
+    data.normalized = normalizer.fit_transform(data.features)
+
+    thresholds = exponential_thresholds(
+        data.contributions, config.num_models, config.top_fraction
+    )
+    stacked_x = np.vstack(data.normalized)
+    regressors: list[GBRTRegressor] = []
+    for model_index, threshold in enumerate(thresholds):
+        labels = np.concatenate(
+            [
+                labels_for_query(c, float(threshold), config.label_scale)
+                for c in data.contributions
+            ]
+        )
+        regressor = GBRTRegressor(
+            n_trees=config.gbrt_trees,
+            max_depth=config.gbrt_depth,
+            learning_rate=config.gbrt_learning_rate,
+            colsample=config.gbrt_colsample,
+            seed=config.seed + model_index,
+        )
+        regressor.fit(stacked_x, labels)
+        regressors.append(regressor)
+
+    model = PickerModel(
+        feature_builder=feature_builder,
+        normalizer=normalizer,
+        regressors=regressors,
+        thresholds=thresholds,
+    )
+    return model, data
+
+
+def regressor_feature_importance_by_category(
+    model: PickerModel,
+) -> dict[str, float]:
+    """Aggregate gain importance by feature category (paper Figure 5).
+
+    Returns percentages over {selectivity, hh, dv, measure} summed across
+    all funnel regressors.
+    """
+    schema = model.feature_builder.schema
+    gains = np.zeros(schema.dimension, dtype=np.float64)
+    for regressor in model.regressors:
+        gains += regressor.feature_importances()
+    out: dict[str, float] = {}
+    total = gains.sum()
+    for category in ("selectivity", "hh", "dv", "measure"):
+        idx = schema.category_indices(category)
+        share = float(gains[idx].sum() / total) if total > 0 else 0.0
+        out[category] = 100.0 * share
+    return out

@@ -1,0 +1,109 @@
+"""Estimator variance analysis (paper Appendix D).
+
+Provides the Horvitz–Thompson variance estimators the appendix derives for
+Poisson (Bernoulli) sampling, the partition-vs-row decomposition (Eq. 3-5:
+partition-level sampling adds a same-partition covariance term, so at
+equal sampling fraction its variance dominates row-level sampling), the
+stratified-SRSWoR variance of the *unbiased* cluster estimator (D.1), and
+normal-approximation confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 < p <= 1.0:
+        raise ConfigError("inclusion probability must be in (0, 1]")
+
+
+def ht_estimate(sampled_values: np.ndarray, p: float) -> float:
+    """Horvitz–Thompson total estimate under Bernoulli(p) sampling."""
+    _check_probability(p)
+    return float(np.sum(sampled_values) / p)
+
+
+def ht_variance_estimate(sampled_values: np.ndarray, p: float) -> float:
+    """Eq. 3 / Eq. 4: estimated variance of the HT total from a sample.
+
+    Works for partition-level sampling (values = per-partition aggregates)
+    and row-level sampling (values = per-row contributions) alike.
+    """
+    _check_probability(p)
+    factor = 1.0 / p**2 - 1.0 / p
+    return float(factor * np.sum(np.square(sampled_values)))
+
+
+def ht_true_variance(values: np.ndarray, p: float) -> float:
+    """Population variance of the HT total under Bernoulli(p) sampling.
+
+    For independent inclusions, Var = sum_i (1/p - 1) y_i^2.
+    """
+    _check_probability(p)
+    return float((1.0 / p - 1.0) * np.sum(np.square(values)))
+
+
+def partition_vs_row_variance(
+    row_values: np.ndarray, partition_ids: np.ndarray, p: float
+) -> tuple[float, float, float]:
+    """(row variance, partition variance, covariance term) — Eq. 5.
+
+    ``row_values[t]`` is tuple t's contribution to the aggregate and
+    ``partition_ids[t]`` its partition. The partition-level variance equals
+    the row-level variance plus twice the same-partition cross terms:
+    correlated rows inside a partition are what makes partition sampling
+    noisier at equal fraction.
+    """
+    _check_probability(p)
+    row_values = np.asarray(row_values, dtype=np.float64)
+    partition_ids = np.asarray(partition_ids)
+    factor = 1.0 / p - 1.0
+    row_var = float(factor * np.sum(np.square(row_values)))
+    partition_totals = np.array(
+        [row_values[partition_ids == pid].sum() for pid in np.unique(partition_ids)]
+    )
+    part_var = float(factor * np.sum(np.square(partition_totals)))
+    cross = part_var - row_var
+    return row_var, part_var, cross
+
+
+def stratified_unbiased_variance(strata_values: list[np.ndarray]) -> float:
+    """Variance of the unbiased cluster estimator (Appendix D.1).
+
+    Each stratum (cluster) of size ``s`` contributes ``s * y_j`` where
+    ``y_j`` is a uniformly chosen member: the stratum-total estimator is
+    unbiased with variance ``s^2 * Var_uniform(y) = s * sum((y - mean)^2)``.
+    Strata are sampled independently, so variances add.
+    """
+    total = 0.0
+    for values in strata_values:
+        values = np.asarray(values, dtype=np.float64)
+        s = values.size
+        if s <= 1:
+            continue
+        centered = values - values.mean()
+        total += float(s * np.sum(np.square(centered)))
+    return total
+
+
+def confidence_interval(
+    estimate: float, variance: float, level: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation CI (the paper quotes 1.96 for 95%)."""
+    if variance < 0:
+        raise ConfigError("variance must be non-negative")
+    if not 0.0 < level < 1.0:
+        raise ConfigError("level must be in (0, 1)")
+    # Inverse normal CDF via the scipy-free rational approximation is
+    # overkill: the paper only uses 95%; support a few common levels.
+    z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    z = z_table.get(round(level, 2))
+    if z is None:
+        raise ConfigError(f"unsupported level {level}; use one of {set(z_table)}")
+    half = z * math.sqrt(variance)
+    return (estimate - half, estimate + half)

@@ -1,0 +1,16 @@
+"""Synthetic dataset generators mirroring the paper's four datasets.
+
+The paper evaluates on TPC-H* (skewed, scale factor 1000), TPC-DS*
+(catalog_sales join), Aria (a Microsoft production service-request log),
+and KDD Cup'99. None are available offline, so each module synthesizes a
+table with the same schema shape, the same kind of skew, and the same
+default sort order — the properties partition selection actually sees
+(DESIGN.md section 3 documents each substitution).
+
+Use :mod:`repro.datasets.registry` to enumerate datasets with their
+layouts and workload specifications.
+"""
+
+from repro.datasets.registry import DATASETS, DatasetSpec, get_dataset
+
+__all__ = ["DATASETS", "DatasetSpec", "get_dataset"]

@@ -1,0 +1,99 @@
+"""Registry tying datasets to their layouts and workload specs.
+
+Benchmarks and examples look datasets up here so every experiment agrees
+on generator, layout names (Figure 6's six dataset x layout combinations),
+and workload universes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets import aria, kdd, tpcds, tpch
+from repro.engine.layout import layout_and_partition
+from repro.engine.table import PartitionedTable, Table
+from repro.errors import ConfigError
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Everything needed to instantiate one evaluation dataset."""
+
+    name: str
+    generate: Callable[[int, int], Table]
+    layouts: dict[str, object]  # layout name -> sort spec or "random"
+    default_layout: str
+    workload: Callable[[], WorkloadSpec]
+
+    def layout_names(self) -> tuple[str, ...]:
+        return tuple(self.layouts)
+
+    def build(
+        self,
+        num_rows: int,
+        num_partitions: int,
+        layout: str | None = None,
+        seed: int = 0,
+    ) -> PartitionedTable:
+        """Generate, lay out, and partition the dataset."""
+        layout = layout or self.default_layout
+        if layout not in self.layouts:
+            raise ConfigError(
+                f"dataset {self.name!r} has no layout {layout!r}; "
+                f"choose from {self.layout_names()}"
+            )
+        table = self.generate(num_rows, seed)
+        sort_spec = self.layouts[layout]
+        if sort_spec == "random":
+            return layout_and_partition(
+                table,
+                num_partitions,
+                shuffle=True,
+                rng=np.random.default_rng(seed + 1),
+            )
+        return layout_and_partition(table, num_partitions, sort_by=sort_spec)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "tpch": DatasetSpec(
+        name="tpch",
+        generate=tpch.generate,
+        layouts=tpch.LAYOUTS,
+        default_layout=tpch.DEFAULT_LAYOUT,
+        workload=tpch.workload_spec,
+    ),
+    "tpcds": DatasetSpec(
+        name="tpcds",
+        generate=tpcds.generate,
+        layouts=tpcds.LAYOUTS,
+        default_layout=tpcds.DEFAULT_LAYOUT,
+        workload=tpcds.workload_spec,
+    ),
+    "aria": DatasetSpec(
+        name="aria",
+        generate=aria.generate,
+        layouts=aria.LAYOUTS,
+        default_layout=aria.DEFAULT_LAYOUT,
+        workload=aria.workload_spec,
+    ),
+    "kdd": DatasetSpec(
+        name="kdd",
+        generate=kdd.generate,
+        layouts=kdd.LAYOUTS,
+        default_layout=kdd.DEFAULT_LAYOUT,
+        workload=kdd.workload_spec,
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; choose from {tuple(DATASETS)}"
+        ) from None

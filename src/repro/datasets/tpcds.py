@@ -1,0 +1,162 @@
+"""TPC-DS* — synthetic catalog_sales join analogue.
+
+The paper joins catalog_sales against item, date_dim, promotion, and
+customer_demographics (Appendix A.2): 4.3M rows, 21 numeric and 20
+categorical columns, sorted by (year, month, day). This module synthesizes
+the joined shape: sales measures (including the signed ``cs_net_profit``),
+date components, item attributes, promotion surrogate keys with skew, and
+demographic categoricals. The paper's two alternative layouts sort by
+``p_promo_sk`` and by ``cs_net_profit`` (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.zipf import vocab, zipf_choice
+from repro.engine.expressions import col
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.workload.spec import WorkloadSpec
+
+SCHEMA = Schema.of(
+    Column("cs_quantity", ColumnKind.NUMERIC, positive=True),
+    Column("cs_wholesale_cost", ColumnKind.NUMERIC, positive=True),
+    Column("cs_list_price", ColumnKind.NUMERIC, positive=True),
+    Column("cs_sales_price", ColumnKind.NUMERIC, positive=True),
+    Column("cs_ext_discount_amt", ColumnKind.NUMERIC),
+    Column("cs_net_paid", ColumnKind.NUMERIC, positive=True),
+    Column("cs_net_profit", ColumnKind.NUMERIC),  # signed!
+    Column("cs_coupon_amt", ColumnKind.NUMERIC),
+    Column("p_promo_sk", ColumnKind.NUMERIC, positive=True),
+    Column("i_current_price", ColumnKind.NUMERIC, positive=True),
+    Column("i_wholesale_cost", ColumnKind.NUMERIC, positive=True),
+    Column("d_year", ColumnKind.NUMERIC, positive=True),
+    Column("d_moy", ColumnKind.NUMERIC, positive=True),
+    Column("d_dom", ColumnKind.NUMERIC, positive=True),
+    Column("d_date", ColumnKind.DATE),
+    Column("i_category", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("i_class", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("i_brand", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("p_channel", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("p_purpose", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("cd_gender", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("cd_marital_status", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("cd_education_status", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("cd_credit_rating", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("d_day_name", ColumnKind.CATEGORICAL, low_cardinality=True),
+)
+
+_CATEGORIES = vocab("category", 10)
+_CLASSES = vocab("class", 20)
+_BRANDS = vocab("dsbrand", 30)
+_CHANNELS = np.array(["catalog", "email", "event", "tv", "web"])
+_PURPOSES = np.array(["anniversary", "holiday", "launch", "loyalty"])
+_EDUCATION = vocab("edu", 7)
+_RATINGS = np.array(["good", "high risk", "low risk", "unknown"])
+_DAYS = np.array(
+    ["Friday", "Monday", "Saturday", "Sunday", "Thursday", "Tuesday", "Wednesday"]
+)
+_NUM_PROMOS = 300
+
+
+def generate(num_rows: int, seed: int = 0) -> Table:
+    """Generate the synthetic TPC-DS* catalog_sales join in ingest order."""
+    rng = np.random.default_rng(seed)
+    year = rng.choice([1998.0, 1999.0, 2000.0, 2001.0, 2002.0], num_rows)
+    moy = rng.integers(1, 13, num_rows).astype(np.float64)
+    dom = rng.integers(1, 29, num_rows).astype(np.float64)
+    d_date = ((year - 1998) * 365 + (moy - 1) * 30 + dom).astype(np.int64)
+
+    quantity = rng.integers(1, 101, num_rows).astype(np.float64)
+    wholesale = rng.uniform(1.0, 100.0, num_rows)
+    list_price = wholesale * rng.uniform(1.0, 3.0, num_rows)
+    sales_price = list_price * rng.uniform(0.3, 1.0, num_rows)
+    net_paid = sales_price * quantity
+    # Net profit is signed: sales below wholesale cost lose money, which
+    # stresses measure features under a signed column (the paper's
+    # cs_net_profit layout in Figure 6 relies on this spread).
+    net_profit = (sales_price - wholesale) * quantity
+    promo = zipf_choice(
+        rng, np.arange(1.0, _NUM_PROMOS + 1.0), num_rows, s=1.1
+    )
+
+    columns = {
+        "cs_quantity": quantity,
+        "cs_wholesale_cost": wholesale,
+        "cs_list_price": list_price,
+        "cs_sales_price": sales_price,
+        "cs_ext_discount_amt": (list_price - sales_price) * quantity,
+        "cs_net_paid": net_paid,
+        "cs_net_profit": net_profit,
+        "cs_coupon_amt": np.where(
+            rng.random(num_rows) < 0.3, rng.uniform(0.0, 500.0, num_rows), 0.0
+        ),
+        "p_promo_sk": promo,
+        "i_current_price": rng.uniform(1.0, 300.0, num_rows),
+        "i_wholesale_cost": rng.uniform(1.0, 100.0, num_rows),
+        "d_year": year,
+        "d_moy": moy,
+        "d_dom": dom,
+        "d_date": d_date,
+        "i_category": zipf_choice(rng, _CATEGORIES, num_rows, s=0.8),
+        "i_class": zipf_choice(rng, _CLASSES, num_rows, s=0.8),
+        "i_brand": zipf_choice(rng, _BRANDS, num_rows, s=1.0),
+        "p_channel": rng.choice(_CHANNELS, num_rows),
+        "p_purpose": rng.choice(_PURPOSES, num_rows),
+        "cd_gender": rng.choice(["F", "M"], num_rows),
+        "cd_marital_status": rng.choice(["D", "M", "S", "U", "W"], num_rows),
+        "cd_education_status": zipf_choice(rng, _EDUCATION, num_rows, s=0.6),
+        "cd_credit_rating": rng.choice(_RATINGS, num_rows),
+        "d_day_name": rng.choice(_DAYS, num_rows),
+    }
+    return Table(SCHEMA, columns)
+
+
+LAYOUTS: dict[str, object] = {
+    "date": ("d_year", "d_moy", "d_dom"),
+    "p_promo_sk": "p_promo_sk",
+    "cs_net_profit": "cs_net_profit",
+    "random": "random",
+}
+DEFAULT_LAYOUT = "date"
+
+
+def workload_spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        groupby_universe=(
+            "i_category",
+            "i_class",
+            "p_channel",
+            "cd_gender",
+            "cd_marital_status",
+            "cd_education_status",
+            "d_year",
+            "d_day_name",
+        ),
+        aggregate_columns=(
+            "cs_quantity",
+            "cs_sales_price",
+            "cs_net_paid",
+            "cs_net_profit",
+            "cs_ext_discount_amt",
+        ),
+        aggregate_expressions=(
+            col("cs_sales_price") - col("cs_wholesale_cost"),
+            col("cs_net_paid") + col("cs_coupon_amt"),
+        ),
+        predicate_columns=(
+            "cs_quantity",
+            "cs_sales_price",
+            "cs_net_profit",
+            "i_current_price",
+            "d_year",
+            "d_moy",
+            "d_date",
+            "p_promo_sk",
+            "i_category",
+            "i_brand",
+            "cd_gender",
+            "cd_education_status",
+        ),
+    )

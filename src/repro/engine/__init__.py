@@ -1,0 +1,63 @@
+"""Columnar storage and query-execution substrate.
+
+This package implements the parts of a big-data query engine that PS3
+depends on: an in-memory columnar table split into coarse partitions, a
+typed query AST (aggregates, predicates, group-by), a vectorized
+per-partition executor, weighted answer combination, and data-layout tools
+(sorting, shuffling, partitioning).
+
+The paper runs on SCOPE/Spark; this is the from-scratch substrate standing
+in for those systems. The essential property preserved is that queries are
+evaluated *per partition* and per-partition answers combine linearly under
+weights.
+"""
+
+from repro.engine.aggregates import AggFunc, Aggregate
+from repro.engine.combiner import WeightedChoice, combine_answers, finalize_answer
+from repro.engine.executor import execute_on_partition, execute_on_table, true_answer
+from repro.engine.expressions import BinOp, ColumnRef, Const, Expression
+from repro.engine.layout import partition_evenly, shuffle_table, sort_table
+from repro.engine.predicates import (
+    And,
+    Comparison,
+    Contains,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Partition, PartitionedTable, Table
+
+__all__ = [
+    "AggFunc",
+    "Aggregate",
+    "And",
+    "BinOp",
+    "Column",
+    "ColumnKind",
+    "ColumnRef",
+    "Comparison",
+    "Const",
+    "Contains",
+    "Expression",
+    "InSet",
+    "Not",
+    "Or",
+    "Partition",
+    "PartitionedTable",
+    "Predicate",
+    "Query",
+    "Schema",
+    "Table",
+    "WeightedChoice",
+    "combine_answers",
+    "execute_on_partition",
+    "execute_on_table",
+    "finalize_answer",
+    "partition_evenly",
+    "shuffle_table",
+    "sort_table",
+    "true_answer",
+]

@@ -1,0 +1,117 @@
+"""Aggregate functions and their linear decomposition.
+
+PS3 combines per-partition answers as ``A_g = sum_j w_j * A_g,p_j`` (paper
+section 2.4), which only works for aggregates that are *linear* in the
+partitions. SUM and COUNT are linear; AVG is not, so it is decomposed into
+a (SUM, COUNT) pair of linear *components* that are combined under weights
+and finalized to SUM/COUNT at the end. This mirrors how production engines
+rewrite AVG for partial aggregation.
+
+:class:`Aggregate` is what queries carry; :class:`Component` is what the
+executor computes per partition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.engine.expressions import Expression
+from repro.errors import QueryScopeError
+
+
+class AggFunc(enum.Enum):
+    SUM = "SUM"
+    COUNT = "COUNT"
+    AVG = "AVG"
+
+
+class ComponentKind(enum.Enum):
+    """Linear pieces an aggregate decomposes into."""
+
+    SUM = "SUM"
+    COUNT = "COUNT"
+
+
+@dataclass(frozen=True)
+class Component:
+    """One linear accumulator: SUM(expr) or COUNT(*)."""
+
+    kind: ComponentKind
+    expr: Expression | None  # None for COUNT
+
+    def label(self) -> str:
+        if self.kind is ComponentKind.COUNT:
+            return "COUNT(*)"
+        return f"SUM({self.expr.label()})"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate in a query's SELECT list.
+
+    Parameters
+    ----------
+    func:
+        SUM, COUNT, or AVG.
+    expr:
+        The expression being aggregated. Must be ``None`` for COUNT
+        (the scope only includes ``COUNT(*)``) and non-``None`` otherwise.
+    """
+
+    func: AggFunc
+    expr: Expression | None = None
+
+    def __post_init__(self) -> None:
+        if self.func is AggFunc.COUNT and self.expr is not None:
+            raise QueryScopeError("only COUNT(*) is in scope; drop the expression")
+        if self.func is not AggFunc.COUNT and self.expr is None:
+            raise QueryScopeError(f"{self.func.value} requires an expression")
+
+    def components(self) -> tuple[Component, ...]:
+        """The linear components this aggregate needs.
+
+        SUM -> (SUM,); COUNT -> (COUNT,); AVG -> (SUM, COUNT).
+        """
+        if self.func is AggFunc.SUM:
+            return (Component(ComponentKind.SUM, self.expr),)
+        if self.func is AggFunc.COUNT:
+            return (Component(ComponentKind.COUNT, None),)
+        return (
+            Component(ComponentKind.SUM, self.expr),
+            Component(ComponentKind.COUNT, None),
+        )
+
+    def finalize(self, component_values) -> float:
+        """Combine weighted component totals into the final aggregate value.
+
+        ``component_values`` is a sequence aligned with :meth:`components`.
+        AVG returns ``nan``-free 0.0 when the combined count is zero.
+        """
+        if self.func is AggFunc.AVG:
+            total, count = component_values
+            return float(total) / float(count) if count else 0.0
+        return float(component_values[0])
+
+    def columns(self) -> frozenset[str]:
+        return self.expr.columns() if self.expr is not None else frozenset()
+
+    def label(self) -> str:
+        if self.func is AggFunc.COUNT:
+            return "COUNT(*)"
+        return f"{self.func.value}({self.expr.label()})"
+
+
+def sum_of(expr: Expression) -> Aggregate:
+    """Shorthand for ``SUM(expr)``."""
+    return Aggregate(AggFunc.SUM, expr)
+
+
+def count_star() -> Aggregate:
+    """Shorthand for ``COUNT(*)``."""
+    return Aggregate(AggFunc.COUNT)
+
+
+def avg_of(expr: Expression) -> Aggregate:
+    """Shorthand for ``AVG(expr)``."""
+    return Aggregate(AggFunc.AVG, expr)

@@ -1,0 +1,73 @@
+"""Weighted combination of per-partition answers.
+
+Implements the paper's estimator (section 2.4): given weighted partition
+choices ``S = {(p_1, w_1), ..., (p_n, w_n)}``, the approximate component
+answer of group ``g`` is ``A~_g = sum_j w_j * A_{g, p_j}``. Finalization
+then maps combined linear components to the query's aggregate values
+(AVG = SUM/COUNT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.executor import ComponentAnswer, GroupKey
+from repro.engine.query import Query
+from repro.errors import ConfigError
+
+FinalAnswer = dict[GroupKey, np.ndarray]
+
+
+@dataclass(frozen=True)
+class WeightedChoice:
+    """One selected partition and the weight its answer is scaled by."""
+
+    partition: int
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ConfigError(f"negative weight {self.weight} is not meaningful")
+
+
+def combine_answers(
+    partition_answers: list[ComponentAnswer],
+    selection: list[WeightedChoice],
+) -> ComponentAnswer:
+    """Weighted sum of component answers across the selected partitions.
+
+    ``partition_answers`` is indexed by partition id (as produced by
+    :func:`repro.engine.executor.compute_partition_answers`).
+    """
+    combined: dict[GroupKey, np.ndarray] = {}
+    for choice in selection:
+        answer = partition_answers[choice.partition]
+        for key, vec in answer.items():
+            acc = combined.get(key)
+            if acc is None:
+                combined[key] = choice.weight * vec
+            else:
+                acc += choice.weight * vec
+    return combined
+
+
+def finalize_answer(query: Query, combined: ComponentAnswer) -> FinalAnswer:
+    """Map combined component totals to final aggregate values per group."""
+    final: FinalAnswer = {}
+    for key, vec in combined.items():
+        values = np.empty(len(query.aggregates), dtype=np.float64)
+        for i, (agg, slots) in enumerate(zip(query.aggregates, query.component_index)):
+            values[i] = agg.finalize([vec[s] for s in slots])
+        final[key] = values
+    return final
+
+
+def estimate(
+    query: Query,
+    partition_answers: list[ComponentAnswer],
+    selection: list[WeightedChoice],
+) -> FinalAnswer:
+    """Convenience: combine then finalize."""
+    return finalize_answer(query, combine_answers(partition_answers, selection))

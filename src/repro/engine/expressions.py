@@ -1,0 +1,136 @@
+"""Arithmetic expressions used inside aggregate functions.
+
+The paper's query scope (section 2.2) supports SUM/COUNT/AVG over columns
+and simple linear projections — arithmetic with ``+`` and ``-`` over one or
+more columns — plus multiply/divide "in some cases". The executor evaluates
+the full ``+ - * /`` set; the *workload generators* restrict themselves to
+the paper's scope.
+
+Expressions are immutable trees of :class:`ColumnRef`, :class:`Const`, and
+:class:`BinOp` nodes. Evaluation is vectorized over numpy column arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError, QueryScopeError
+
+_OPS = ("+", "-", "*", "/")
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        """Evaluate against a mapping of column name -> numpy array."""
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """All column names referenced by this expression."""
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """A stable human-readable rendering (used in answers and reports)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label()})"
+
+    # Operator sugar so tests and examples can write ``col('a') + col('b')``.
+    def __add__(self, other: Expression | float) -> BinOp:
+        return BinOp("+", self, _coerce(other))
+
+    def __sub__(self, other: Expression | float) -> BinOp:
+        return BinOp("-", self, _coerce(other))
+
+    def __mul__(self, other: Expression | float) -> BinOp:
+        return BinOp("*", self, _coerce(other))
+
+    def __truediv__(self, other: Expression | float) -> BinOp:
+        return BinOp("/", self, _coerce(other))
+
+
+def _coerce(value: Expression | float | int) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise QueryScopeError(f"cannot use {value!r} in an expression")
+
+
+@dataclass(frozen=True, repr=False)
+class ColumnRef(Expression):
+    """Reference to a single numeric column."""
+
+    name: str
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        try:
+            values = columns[self.name]
+        except KeyError:
+            raise ExecutionError(f"column {self.name!r} missing at runtime") from None
+        return np.asarray(values, dtype=np.float64)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def label(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class Const(Expression):
+    """A numeric literal."""
+
+    value: float
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        return np.float64(self.value)  # broadcasts against column arrays
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def label(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class BinOp(Expression):
+    """A binary arithmetic operation over two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise QueryScopeError(f"unsupported operator {self.op!r}")
+
+    def evaluate(self, columns: dict[str, np.ndarray]) -> np.ndarray:
+        lhs = self.left.evaluate(columns)
+        rhs = self.right.evaluate(columns)
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.true_divide(lhs, rhs)
+        if np.any(~np.isfinite(out)):
+            raise ExecutionError(f"division produced non-finite values: {self.label()}")
+        return out
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def label(self) -> str:
+        return f"({self.left.label()} {self.op} {self.right.label()})"
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)

@@ -1,0 +1,107 @@
+"""Query rewrites that bring borderline queries into PS3's scope.
+
+Paper section 2.2 supports "a subset of aggregates with CASE conditions
+that can be rewritten as an aggregate over a predicate", and section
+5.5.4 applies exactly that rewrite to TPC-H Q8/Q14. This module
+implements it:
+
+    SELECT SUM(CASE WHEN cond THEN expr ELSE 0 END) WHERE p ...
+        ->  SELECT SUM(expr) WHERE p AND cond ...
+
+The rewrite is only sound when *every* aggregate in the query shares the
+same CASE condition (otherwise the strengthened predicate would corrupt
+the others), which is what :func:`rewrite_case_aggregates` validates.
+COUNT(CASE ...) rewrites to COUNT(*) under the strengthened predicate.
+
+A :class:`CaseAggregate` is the pre-rewrite carrier: it renders and
+validates the CASE form but cannot be executed directly — calling code
+must rewrite first, mirroring how the paper's system rewrites during
+query compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.aggregates import AggFunc, Aggregate
+from repro.engine.expressions import Expression
+from repro.engine.predicates import And, Predicate
+from repro.engine.query import Query
+from repro.errors import QueryScopeError
+
+
+@dataclass(frozen=True)
+class CaseAggregate:
+    """``func(CASE WHEN condition THEN expr ELSE 0 END)``.
+
+    ``expr`` is ``None`` for ``COUNT(CASE WHEN cond THEN 1 END)``.
+    """
+
+    func: AggFunc
+    condition: Predicate
+    expr: Expression | None = None
+
+    def __post_init__(self) -> None:
+        if self.func is AggFunc.COUNT and self.expr is not None:
+            raise QueryScopeError("COUNT CASE rewrites take no expression")
+        if self.func is not AggFunc.COUNT and self.expr is None:
+            raise QueryScopeError(f"{self.func.value} CASE requires an expression")
+        if self.func is AggFunc.AVG:
+            # AVG(CASE ... ELSE 0) averages the zeros too; rewriting it to
+            # AVG over the predicate changes semantics. Out of scope, as
+            # in the paper.
+            raise QueryScopeError(
+                "AVG over CASE is not rewritable to an aggregate over a "
+                "predicate (the ELSE-0 rows change the denominator)"
+            )
+
+    def plain_aggregate(self) -> Aggregate:
+        """The aggregate that remains once the condition moves out."""
+        if self.func is AggFunc.COUNT:
+            return Aggregate(AggFunc.COUNT)
+        return Aggregate(self.func, self.expr)
+
+    def label(self) -> str:
+        inner = "1" if self.expr is None else self.expr.label()
+        return (
+            f"{self.func.value}(CASE WHEN {self.condition.label()} "
+            f"THEN {inner} ELSE 0 END)"
+        )
+
+
+def rewrite_case_aggregates(
+    aggregates: list,
+    predicate: Predicate | None = None,
+    group_by: tuple[str, ...] = (),
+) -> Query:
+    """Rewrite CASE aggregates into a plain query over a predicate.
+
+    Accepts a mix is *not* allowed: either all entries are plain
+    :class:`Aggregate` (returned as-is in a Query) or all are
+    :class:`CaseAggregate` sharing one condition, which is conjoined onto
+    the WHERE clause.
+    """
+    case_aggs = [a for a in aggregates if isinstance(a, CaseAggregate)]
+    plain_aggs = [a for a in aggregates if isinstance(a, Aggregate)]
+    if len(case_aggs) + len(plain_aggs) != len(aggregates):
+        raise QueryScopeError("aggregates must be Aggregate or CaseAggregate")
+    if not case_aggs:
+        return Query(plain_aggs, predicate, group_by)
+    if plain_aggs:
+        raise QueryScopeError(
+            "cannot mix CASE and plain aggregates: the rewritten predicate "
+            "would filter the plain aggregates too"
+        )
+    conditions = {a.condition.label(): a.condition for a in case_aggs}
+    if len(conditions) > 1:
+        raise QueryScopeError(
+            "CASE aggregates with differing conditions cannot share one "
+            f"rewritten predicate (found {sorted(conditions)})"
+        )
+    condition = next(iter(conditions.values()))
+    combined = condition if predicate is None else And([predicate, condition])
+    return Query(
+        [a.plain_aggregate() for a in case_aggs],
+        combined,
+        group_by,
+    )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the PS3 reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class. Narrow subclasses exist for the common failure
+modes (schema problems, unsupported queries, picker misuse).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A column is missing, duplicated, or used with the wrong type."""
+
+
+class QueryScopeError(ReproError):
+    """The query falls outside the scope PS3 supports (paper section 2.2)."""
+
+
+class ExecutionError(ReproError):
+    """Query execution failed (e.g., division by zero in a projection)."""
+
+
+class NotFittedError(ReproError):
+    """A component that requires training was used before ``fit``."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""

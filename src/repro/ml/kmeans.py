@@ -1,0 +1,102 @@
+"""KMeans clustering (k-means++ initialization + Lloyd iterations).
+
+Used by PS3's sample-via-clustering component (paper section 4.2). The
+paper found KMeans and ward-linkage HAC interchangeable (Table 6); both
+are provided and benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, NotFittedError
+
+
+def _pairwise_sq_dist(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, shape (n_points, n_centers)."""
+    p_sq = np.einsum("ij,ij->i", points, points)[:, None]
+    c_sq = np.einsum("ij,ij->i", centers, centers)[None, :]
+    cross = points @ centers.T
+    return np.maximum(p_sq + c_sq - 2.0 * cross, 0.0)
+
+
+@dataclass
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    ``n_clusters`` larger than the number of points degrades gracefully to
+    one point per cluster.
+    """
+
+    n_clusters: int
+    max_iter: int = 50
+    tol: float = 1e-6
+    seed: int = 0
+    labels_: np.ndarray | None = field(default=None, repr=False)
+    centers_: np.ndarray | None = field(default=None, repr=False)
+    inertia_: float = field(default=np.inf, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ConfigError("n_clusters must be >= 1")
+
+    def _init_centers(self, X: np.ndarray, k: int, rng) -> np.ndarray:
+        n = X.shape[0]
+        centers = np.empty((k, X.shape[1]), dtype=np.float64)
+        centers[0] = X[rng.integers(n)]
+        closest = _pairwise_sq_dist(X, centers[:1]).ravel()
+        for i in range(1, k):
+            total = closest.sum()
+            if total <= 0.0:
+                centers[i:] = X[rng.integers(n, size=k - i)]
+                break
+            probs = closest / total
+            centers[i] = X[rng.choice(n, p=probs)]
+            dist = _pairwise_sq_dist(X, centers[i : i + 1]).ravel()
+            np.minimum(closest, dist, out=closest)
+        return centers
+
+    def fit(self, X: np.ndarray) -> KMeans:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ConfigError(f"bad input shape {X.shape}")
+        n = X.shape[0]
+        k = min(self.n_clusters, n)
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(X, k, rng)
+        labels = np.zeros(n, dtype=np.intp)
+        for __ in range(self.max_iter):
+            distances = _pairwise_sq_dist(X, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            counts = np.bincount(labels, minlength=k)
+            for j in range(k):
+                if counts[j]:
+                    new_centers[j] = X[labels == j].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = int(distances.min(axis=1).argmax())
+                    new_centers[j] = X[farthest]
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        distances = _pairwise_sq_dist(X, centers)
+        self.labels_ = distances.argmin(axis=1)
+        self.centers_ = centers
+        self.inertia_ = float(distances[np.arange(n), self.labels_].sum())
+        return self
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.centers_ is None:
+            raise NotFittedError("KMeans.predict before fit")
+        return _pairwise_sq_dist(np.asarray(X, np.float64), self.centers_).argmin(
+            axis=1
+        )

@@ -1,0 +1,49 @@
+"""Lightweight, single-pass, mergeable partition sketches.
+
+The four sketch families from paper section 3.1, plus the exact value
+dictionary for low-cardinality string columns (section 3.2):
+
+* :class:`~repro.sketches.measures.MeasuresSketch` — min/max/moments, with
+  log-transformed variants for strictly positive columns;
+* :class:`~repro.sketches.histogram.EquiDepthHistogram` — 10-bucket
+  equal-depth histograms (over hashes for string columns);
+* :class:`~repro.sketches.akmv.AKMVSketch` — K-Minimum-Values distinct-value
+  sketch with per-value counts (k=128);
+* :class:`~repro.sketches.heavy_hitter.HeavyHitterSketch` — lossy counting
+  at 1% support;
+* :class:`~repro.sketches.exact_dict.ExactDictionary` — exact value/count
+  dictionary for low-cardinality strings, enabling substring filters.
+
+All sketches are constructed in one pass per partition, support ``merge``
+(bulk-append stores seal partitions independently, and global heavy hitters
+are built by merging per-partition sketches), and serialize to bytes so
+storage overhead (paper Table 4) is measured on real encodings.
+"""
+
+from repro.sketches.akmv import AKMVSketch
+from repro.sketches.builder import (
+    ColumnStatistics,
+    DatasetStatistics,
+    PartitionStatistics,
+    SketchConfig,
+    build_dataset_statistics,
+    build_partition_statistics,
+)
+from repro.sketches.exact_dict import ExactDictionary
+from repro.sketches.heavy_hitter import HeavyHitterSketch
+from repro.sketches.histogram import EquiDepthHistogram
+from repro.sketches.measures import MeasuresSketch
+
+__all__ = [
+    "AKMVSketch",
+    "ColumnStatistics",
+    "DatasetStatistics",
+    "EquiDepthHistogram",
+    "ExactDictionary",
+    "HeavyHitterSketch",
+    "MeasuresSketch",
+    "PartitionStatistics",
+    "SketchConfig",
+    "build_dataset_statistics",
+    "build_partition_statistics",
+]

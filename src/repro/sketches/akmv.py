@@ -1,0 +1,122 @@
+"""AKMV (augmented K-Minimum-Values) distinct-value sketch.
+
+Tracks the k smallest 64-bit hash values of a column together with the
+number of times each of those values appeared in the partition (Beyer et
+al., SIGMOD'07; paper section 3.1, k=128 by default). Supplies:
+
+* a distinct-value estimate — exact when the column has fewer than k
+  distinct values, otherwise the KMV basic estimator ``(k-1) / U_(k)``
+  where ``U_(k)`` is the k-th smallest normalized hash;
+* frequency statistics of distinct values (avg/max/min/sum of the tracked
+  counts), the Table 2 features;
+* multiset merge (union), needed when sealing bulk-appended partitions.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sketches.hashing import hash_array, normalize_hashes
+
+
+@dataclass
+class AKMVSketch:
+    """K minimum hashed values of a column, each with its multiplicity."""
+
+    k: int = 128
+    hashes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.uint64))
+    counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ConfigError("AKMV requires k >= 2")
+
+    @classmethod
+    def build(cls, values: np.ndarray, k: int = 128) -> AKMVSketch:
+        """One-pass build: hash, count per distinct value, keep k minima."""
+        sketch = cls(k=k)
+        sketch.update(values)
+        return sketch
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of raw column values into the sketch."""
+        if len(values) == 0:
+            return
+        hashed = hash_array(np.asarray(values))
+        uniques, counts = np.unique(hashed, return_counts=True)
+        self._absorb(uniques, counts.astype(np.int64))
+
+    def merge(self, other: AKMVSketch) -> None:
+        """Multiset union with another AKMV sketch (counts add on overlap)."""
+        self._absorb(other.hashes, other.counts)
+
+    def _absorb(self, hashes: np.ndarray, counts: np.ndarray) -> None:
+        if len(self.hashes):
+            combined = np.concatenate([self.hashes, hashes])
+            weights = np.concatenate([self.counts, counts])
+        else:
+            combined, weights = hashes, counts
+        uniques, inverse = np.unique(combined, return_inverse=True)
+        totals = np.bincount(inverse, weights=weights.astype(np.float64))
+        keep = min(self.k, len(uniques))
+        self.hashes = uniques[:keep]  # np.unique returns sorted ascending
+        self.counts = totals[:keep].astype(np.int64)
+
+    # -- derived statistics --------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the sketch saw fewer than k distinct hashes (exact DV)."""
+        return len(self.hashes) < self.k
+
+    def distinct_estimate(self) -> float:
+        """Estimated number of distinct values in the partition."""
+        if len(self.hashes) == 0:
+            return 0.0
+        if self.is_exact:
+            return float(len(self.hashes))
+        kth = normalize_hashes(self.hashes[-1:])[0]
+        if kth <= 0.0:
+            return float(self.k)
+        return (self.k - 1) / kth
+
+    def freq_stats(self) -> tuple[float, float, float, float]:
+        """(avg, max, min, sum) frequency over the tracked distinct values."""
+        if len(self.counts) == 0:
+            return (0.0, 0.0, 0.0, 0.0)
+        counts = self.counts.astype(np.float64)
+        return (
+            float(counts.mean()),
+            float(counts.max()),
+            float(counts.min()),
+            float(counts.sum()),
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def size_bytes(self) -> int:
+        header = struct.calcsize("<II")
+        return header + 16 * len(self.hashes)
+
+    def to_bytes(self) -> bytes:
+        header = struct.pack("<II", self.k, len(self.hashes))
+        return (
+            header
+            + self.hashes.astype("<u8").tobytes()
+            + self.counts.astype("<i8").tobytes()
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> AKMVSketch:
+        header_size = struct.calcsize("<II")
+        k, size = struct.unpack("<II", payload[:header_size])
+        body = payload[header_size:]
+        if len(body) != 16 * size:
+            raise ConfigError("corrupt AKMVSketch payload")
+        hashes = np.frombuffer(body[: 8 * size], dtype="<u8").copy()
+        counts = np.frombuffer(body[8 * size :], dtype="<i8").copy()
+        return cls(k=int(k), hashes=hashes, counts=counts)

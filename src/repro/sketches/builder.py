@@ -1,0 +1,247 @@
+"""Statistics builder: one pass over each partition at seal time.
+
+This is the offline half of PS3's statistics builder (paper Figure 1 and
+section 2.3.1). For every partition and every column it constructs the
+applicable sketches:
+
+==============  ======================================  =====================
+Column kind     Sketches                                Notes
+==============  ======================================  =====================
+numeric         measures, histogram, AKMV, heavy hitter log-measures iff the
+                                                        column is positive
+date            measures, histogram, AKMV, heavy hitter on integer days
+categorical     histogram (hashed), AKMV, heavy hitter, exact dictionary iff
+                exact dictionary                        low_cardinality
+==============  ======================================  =====================
+
+It also assembles dataset-level artifacts: the *global* heavy hitters per
+column (merging per-partition sketches), capped at ``bitmap_k`` values,
+which back the occurrence-bitmap features (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Partition, PartitionedTable
+from repro.sketches.akmv import AKMVSketch
+from repro.sketches.exact_dict import ExactDictionary
+from repro.sketches.heavy_hitter import HeavyHitterSketch
+from repro.sketches.histogram import EquiDepthHistogram
+from repro.sketches.measures import MeasuresSketch
+
+
+@dataclass(frozen=True)
+class SketchConfig:
+    """Knobs for sketch construction (paper defaults)."""
+
+    histogram_buckets: int = 10
+    akmv_k: int = 128
+    hh_support: float = 0.01
+    hh_epsilon: float | None = None
+    exact_dict_limit: int = 256
+    bitmap_k: int = 25  # cap on global heavy hitters per column (section 3.2)
+
+
+@dataclass
+class ColumnStatistics:
+    """All sketches for one column of one partition."""
+
+    column: Column
+    measures: MeasuresSketch | None = None
+    histogram: EquiDepthHistogram | None = None
+    akmv: AKMVSketch | None = None
+    heavy_hitter: HeavyHitterSketch | None = None
+    exact_dict: ExactDictionary | None = None
+
+    def size_bytes(self) -> int:
+        """Serialized storage footprint of this column's sketches."""
+        sketches = (
+            self.measures,
+            self.histogram,
+            self.akmv,
+            self.heavy_hitter,
+            self.exact_dict,
+        )
+        return sum(s.size_bytes() for s in sketches if s is not None)
+
+    def size_by_kind(self) -> dict[str, int]:
+        """Per-sketch-family sizes (Table 4 breakdown)."""
+        out = {"measure": 0, "histogram": 0, "akmv": 0, "hh": 0}
+        if self.measures is not None:
+            out["measure"] += self.measures.size_bytes()
+        if self.histogram is not None:
+            out["histogram"] += self.histogram.size_bytes()
+        if self.akmv is not None:
+            out["akmv"] += self.akmv.size_bytes()
+        if self.heavy_hitter is not None:
+            out["hh"] += self.heavy_hitter.size_bytes()
+        if self.exact_dict is not None:
+            out["hh"] += self.exact_dict.size_bytes()  # dict rides with HH
+        return out
+
+
+@dataclass
+class PartitionStatistics:
+    """Sketches for every column of one partition."""
+
+    partition_index: int
+    num_rows: int
+    columns: dict[str, ColumnStatistics]
+
+    def size_bytes(self) -> int:
+        return sum(cs.size_bytes() for cs in self.columns.values())
+
+    def size_by_kind(self) -> dict[str, int]:
+        total = {"measure": 0, "histogram": 0, "akmv": 0, "hh": 0}
+        for cs in self.columns.values():
+            for kind, size in cs.size_by_kind().items():
+                total[kind] += size
+        return total
+
+
+@dataclass
+class DatasetStatistics:
+    """Per-partition statistics plus dataset-level artifacts."""
+
+    schema: Schema
+    config: SketchConfig
+    partitions: list[PartitionStatistics]
+    # column -> ordered tuple of global heavy-hitter values (most frequent
+    # first, capped at config.bitmap_k). Basis of occurrence bitmaps.
+    global_heavy_hitters: dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def column_stats(self, partition: int, column: str) -> ColumnStatistics:
+        return self.partitions[partition].columns[column]
+
+    def average_partition_size_bytes(self) -> float:
+        if not self.partitions:
+            return 0.0
+        return float(np.mean([p.size_bytes() for p in self.partitions]))
+
+
+def build_column_statistics(
+    column: Column, values: np.ndarray, config: SketchConfig
+) -> ColumnStatistics:
+    """Construct every applicable sketch for one column of one partition."""
+    stats = ColumnStatistics(column=column)
+    if column.is_categorical:
+        stats.histogram = EquiDepthHistogram.build_for_strings(
+            values, buckets=config.histogram_buckets
+        )
+        stats.akmv = AKMVSketch.build(values, k=config.akmv_k)
+        stats.heavy_hitter = HeavyHitterSketch.build(
+            values, support=config.hh_support, epsilon=config.hh_epsilon
+        )
+        if column.low_cardinality:
+            stats.exact_dict = ExactDictionary.build(
+                values, limit=config.exact_dict_limit
+            )
+        return stats
+
+    numeric = values.astype(np.float64)
+    stats.measures = MeasuresSketch(track_log=column.positive)
+    stats.measures.update(numeric)
+    stats.histogram = EquiDepthHistogram.build(
+        numeric, buckets=config.histogram_buckets
+    )
+    stats.akmv = AKMVSketch.build(numeric, k=config.akmv_k)
+    stats.heavy_hitter = HeavyHitterSketch.build(
+        numeric, support=config.hh_support, epsilon=config.hh_epsilon
+    )
+    return stats
+
+
+def build_partition_statistics(
+    partition: Partition, config: SketchConfig | None = None
+) -> PartitionStatistics:
+    """One pass over a partition: sketches for every column."""
+    config = config or SketchConfig()
+    schema = partition.table.schema
+    columns = {
+        column.name: build_column_statistics(
+            column, partition.column(column.name), config
+        )
+        for column in schema
+    }
+    return PartitionStatistics(
+        partition_index=partition.index,
+        num_rows=partition.num_rows,
+        columns=columns,
+    )
+
+
+def _global_heavy_hitters(
+    stats: list[PartitionStatistics], column: str, config: SketchConfig
+) -> tuple:
+    """Combine per-partition HH sketches into the top global values."""
+    merged: HeavyHitterSketch | None = None
+    for pstats in stats:
+        sketch = pstats.columns[column].heavy_hitter
+        if sketch is None:
+            continue
+        if merged is None:
+            merged = HeavyHitterSketch(
+                support=sketch.support, epsilon=sketch.epsilon
+            )
+        merged.merge(sketch)
+    if merged is None:
+        return ()
+    ranked = sorted(merged.items().items(), key=lambda kv: -kv[1])
+    return tuple(value for value, __ in ranked[: config.bitmap_k])
+
+
+def append_partition_statistics(
+    dataset: DatasetStatistics, partition: Partition
+) -> PartitionStatistics:
+    """Seal statistics for a newly appended partition.
+
+    The new partition's sketches are added to the dataset; the *global*
+    heavy hitters are deliberately left frozen so feature schemas (and
+    hence trained models) stay valid. Use
+    :func:`recompute_global_heavy_hitters` to measure drift and decide on
+    retraining.
+    """
+    pstats = build_partition_statistics(partition, dataset.config)
+    dataset.partitions.append(pstats)
+    return pstats
+
+
+def recompute_global_heavy_hitters(
+    dataset: DatasetStatistics,
+) -> dict[str, tuple]:
+    """Fresh global heavy hitters over *all* current partitions.
+
+    Returned instead of applied: callers compare against the frozen
+    ``dataset.global_heavy_hitters`` to quantify drift (``PS3.staleness``)
+    and only swap them in when retraining.
+    """
+    return {
+        column.name: _global_heavy_hitters(
+            dataset.partitions, column.name, dataset.config
+        )
+        for column in dataset.schema
+    }
+
+
+def build_dataset_statistics(
+    ptable: PartitionedTable, config: SketchConfig | None = None
+) -> DatasetStatistics:
+    """Build statistics for every partition plus global artifacts."""
+    config = config or SketchConfig()
+    partitions = [build_partition_statistics(p, config) for p in ptable]
+    dataset = DatasetStatistics(
+        schema=ptable.schema, config=config, partitions=partitions
+    )
+    for column in ptable.schema:
+        dataset.global_heavy_hitters[column.name] = _global_heavy_hitters(
+            partitions, column.name, config
+        )
+    return dataset

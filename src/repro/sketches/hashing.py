@@ -1,0 +1,41 @@
+"""Stable 64-bit hashing for sketch inputs.
+
+AKMV sketches and string histograms need a hash that is (a) stable across
+processes — python's builtin ``hash`` is salted — and (b) close to uniform
+on [0, 2^64). We use blake2b with an 8-byte digest. Hashing is done per
+*distinct* value (via ``np.unique``) and broadcast back, which keeps the
+python-level loop off the hot path for low-cardinality columns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+_UINT64_MAX_PLUS_1 = float(2**64)
+
+
+def hash_value(value: object) -> int:
+    """Stable 64-bit hash of a single value (string or float)."""
+    if isinstance(value, (np.str_, str)):
+        payload = str(value).encode("utf-8")
+    else:
+        payload = struct.pack("<d", float(value))
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def hash_array(values: np.ndarray) -> np.ndarray:
+    """Stable element-wise 64-bit hashes of an array of values."""
+    uniques, inverse = np.unique(values, return_inverse=True)
+    hashed = np.fromiter(
+        (hash_value(v) for v in uniques), dtype=np.uint64, count=len(uniques)
+    )
+    return hashed[inverse]
+
+
+def normalize_hashes(hashes: np.ndarray) -> np.ndarray:
+    """Map uint64 hashes into [0, 1) floats (for KMV-style estimators)."""
+    return hashes.astype(np.float64) / _UINT64_MAX_PLUS_1

@@ -1,0 +1,197 @@
+"""Heavy-hitter sketch via lossy counting (Manku & Motwani, VLDB'02).
+
+Maintains a dictionary of frequent values and their approximate counts for
+each column in the partition (paper section 3.1). The default support of
+1% bounds the output dictionary at 100 items; the internal error bound
+``epsilon`` defaults to ``support / 10``, the standard recommendation, so
+reported counts undercount the truth by at most ``epsilon * N``.
+
+Values are hashed to stable 64-bit keys internally; the original values of
+reported heavy hitters are retained so occurrence bitmaps and selectivity
+estimates can refer back to actual column values.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class _Entry:
+    count: float
+    delta: float
+
+
+@dataclass
+class HeavyHitterSketch:
+    """Lossy-counting frequency sketch with value payloads.
+
+    Parameters
+    ----------
+    support:
+        Report values appearing in at least this fraction of rows.
+    epsilon:
+        Lossy-counting error bound; ``None`` means ``support / 10``.
+    """
+
+    support: float = 0.01
+    epsilon: float | None = None
+    total: int = 0
+    _entries: dict[object, _Entry] = field(default_factory=dict, repr=False)
+    _bucket: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.support < 1.0:
+            raise ConfigError("support must be in (0, 1)")
+        if self.epsilon is None:
+            self.epsilon = self.support / 10.0
+        if not 0.0 < self.epsilon <= self.support:
+            raise ConfigError("epsilon must be in (0, support]")
+        self._width = max(int(math.ceil(1.0 / self.epsilon)), 1)
+
+    @classmethod
+    def build(
+        cls, values: np.ndarray, support: float = 0.01, epsilon: float | None = None
+    ) -> HeavyHitterSketch:
+        sketch = cls(support=support, epsilon=epsilon)
+        sketch.update(values)
+        return sketch
+
+    def update(self, values: np.ndarray) -> None:
+        """Stream a batch of values through the lossy-counting automaton.
+
+        Batches are pre-aggregated with ``np.unique`` so the per-item work
+        is per *distinct* value, then bucket-boundary pruning is applied at
+        the positions it would have occurred in the stream.
+        """
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        # Process in sub-batches no larger than the bucket width so pruning
+        # happens with the cadence the algorithm's guarantees assume.
+        start = 0
+        while start < values.size:
+            stop = min(start + self._width, values.size)
+            self._update_block(values[start:stop])
+            start = stop
+
+    def _update_block(self, values: np.ndarray) -> None:
+        uniques, counts = np.unique(values, return_counts=True)
+        for value, count in zip(uniques, counts):
+            key = value.item() if hasattr(value, "item") else value
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = _Entry(float(count), float(self._bucket - 1))
+            else:
+                entry.count += float(count)
+        self.total += int(counts.sum())
+        new_bucket = self.total // self._width + 1
+        if new_bucket != self._bucket:
+            self._bucket = int(new_bucket)
+            self._prune()
+
+    def _prune(self) -> None:
+        threshold = self._bucket
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.count + entry.delta <= threshold
+        ]
+        for key in doomed:
+            del self._entries[key]
+
+    def merge(self, other: HeavyHitterSketch) -> None:
+        """Merge another sketch (counts add; deltas take the max).
+
+        Used to assemble *global* heavy hitters for a column by combining
+        per-partition sketches (paper section 3.2, occurrence bitmaps).
+        """
+        for key, entry in other._entries.items():
+            mine = self._entries.get(key)
+            if mine is None:
+                self._entries[key] = _Entry(entry.count, entry.delta)
+            else:
+                mine.count += entry.count
+                mine.delta = max(mine.delta, entry.delta)
+        self.total += other.total
+        self._bucket = self.total // self._width + 1
+        self._prune()
+
+    # -- results -------------------------------------------------------------
+
+    def items(self) -> dict[object, float]:
+        """Heavy hitters: value -> estimated count, at the support level."""
+        if self.total == 0:
+            return {}
+        cutoff = (self.support - self.epsilon) * self.total
+        return {
+            key: entry.count
+            for key, entry in self._entries.items()
+            if entry.count >= cutoff
+        }
+
+    def frequencies(self) -> dict[object, float]:
+        """Heavy hitters: value -> estimated fraction of rows."""
+        if self.total == 0:
+            return {}
+        return {key: count / self.total for key, count in self.items().items()}
+
+    def stats(self) -> tuple[float, float, float]:
+        """(number of heavy hitters, avg frequency, max frequency)."""
+        freqs = list(self.frequencies().values())
+        if not freqs:
+            return (0.0, 0.0, 0.0)
+        return (float(len(freqs)), float(np.mean(freqs)), float(np.max(freqs)))
+
+    # -- serialization -----------------------------------------------------
+
+    def size_bytes(self) -> int:
+        size = struct.calcsize("<ddQ I")
+        for key, count in self.items().items():
+            encoded = _encode_value(key)
+            size += struct.calcsize("<Id") + len(encoded)
+        return size
+
+    def to_bytes(self) -> bytes:
+        items = self.items()
+        out = [struct.pack("<ddQI", self.support, self.epsilon, self.total, len(items))]
+        for key, count in items.items():
+            encoded = _encode_value(key)
+            out.append(struct.pack("<Id", len(encoded), count))
+            out.append(encoded)
+        return b"".join(out)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> HeavyHitterSketch:
+        header_size = struct.calcsize("<ddQI")
+        support, epsilon, total, size = struct.unpack("<ddQI", payload[:header_size])
+        sketch = cls(support=support, epsilon=epsilon)
+        sketch.total = int(total)
+        offset = header_size
+        for __ in range(size):
+            length, count = struct.unpack_from("<Id", payload, offset)
+            offset += struct.calcsize("<Id")
+            value = _decode_value(payload[offset : offset + length])
+            offset += length
+            sketch._entries[value] = _Entry(count, 0.0)
+        sketch._bucket = sketch.total // sketch._width + 1
+        return sketch
+
+
+def _encode_value(value: object) -> bytes:
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    return b"f" + struct.pack("<d", float(value))
+
+
+def _decode_value(payload: bytes) -> object:
+    tag, body = payload[:1], payload[1:]
+    if tag == b"s":
+        return body.decode("utf-8")
+    return struct.unpack("<d", body)[0]

@@ -1,0 +1,156 @@
+"""Measures sketch: min, max, first and second moments.
+
+Stored per numeric (and date) column per partition. For columns whose
+values are always positive, the same moments are also tracked on the
+log-transformed column (paper section 3.1), which is what lets PS3 handle
+multiplicative aggregates "in some cases" (footnote 2).
+
+Construction is a single O(R) pass; storage is O(1) (Table 1). The sketch
+is mergeable: moments add, extrema take min/max.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_FORMAT = "<Q10d?"  # count, 10 doubles, has_log flag
+
+
+@dataclass
+class MeasuresSketch:
+    """Streaming moments/extrema, optionally with log-domain variants."""
+
+    track_log: bool = False
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = field(default=np.inf)
+    maximum: float = field(default=-np.inf)
+    log_total: float = 0.0
+    log_total_sq: float = 0.0
+    log_minimum: float = field(default=np.inf)
+    log_maximum: float = field(default=-np.inf)
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of values into the sketch (one pass, vectorized)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        self.total_sq += float(np.square(values).sum())
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+        if self.track_log:
+            if float(values.min()) <= 0.0:
+                # The column was declared positive but is not; disable the
+                # log channel rather than produce NaNs.
+                self.track_log = False
+            else:
+                logs = np.log(values)
+                self.log_total += float(logs.sum())
+                self.log_total_sq += float(np.square(logs).sum())
+                self.log_minimum = min(self.log_minimum, float(logs.min()))
+                self.log_maximum = max(self.log_maximum, float(logs.max()))
+
+    def merge(self, other: MeasuresSketch) -> None:
+        """Fold another sketch into this one (partition-parallel builds)."""
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        if self.track_log and other.track_log:
+            self.log_total += other.log_total
+            self.log_total_sq += other.log_total_sq
+            self.log_minimum = min(self.log_minimum, other.log_minimum)
+            self.log_maximum = max(self.log_maximum, other.log_maximum)
+        else:
+            self.track_log = False
+
+    # -- derived statistics (the feature values of Table 2) ---------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def mean_sq(self) -> float:
+        return self.total_sq / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if not self.count:
+            return 0.0
+        var = max(self.mean_sq - self.mean**2, 0.0)
+        return float(np.sqrt(var))
+
+    @property
+    def log_mean(self) -> float:
+        if not (self.track_log and self.count):
+            return 0.0
+        return self.log_total / self.count
+
+    @property
+    def log_mean_sq(self) -> float:
+        if not (self.track_log and self.count):
+            return 0.0
+        return self.log_total_sq / self.count
+
+    def min_value(self) -> float:
+        return self.minimum if self.count else 0.0
+
+    def max_value(self) -> float:
+        return self.maximum if self.count else 0.0
+
+    def log_min_value(self) -> float:
+        return self.log_minimum if (self.track_log and self.count) else 0.0
+
+    def log_max_value(self) -> float:
+        return self.log_maximum if (self.track_log and self.count) else 0.0
+
+    # -- serialization -----------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return struct.calcsize(_FORMAT)
+
+    def to_bytes(self) -> bytes:
+        return struct.pack(
+            _FORMAT,
+            self.count,
+            self.total,
+            self.total_sq,
+            self.minimum,
+            self.maximum,
+            self.log_total,
+            self.log_total_sq,
+            self.log_minimum,
+            self.log_maximum,
+            0.0,  # reserved
+            0.0,  # reserved
+            self.track_log,
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> MeasuresSketch:
+        if len(payload) != struct.calcsize(_FORMAT):
+            raise ConfigError("corrupt MeasuresSketch payload")
+        (count, total, total_sq, mn, mx, lt, lts, lmn, lmx, __, ___, track) = (
+            struct.unpack(_FORMAT, payload)
+        )
+        sketch = cls(track_log=bool(track))
+        sketch.count = count
+        sketch.total = total
+        sketch.total_sq = total_sq
+        sketch.minimum = mn
+        sketch.maximum = mx
+        sketch.log_total = lt
+        sketch.log_total_sq = lts
+        sketch.log_minimum = lmn
+        sketch.log_maximum = lmx
+        return sketch

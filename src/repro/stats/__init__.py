@@ -1,0 +1,22 @@
+"""Summary statistics as features (paper section 3.2).
+
+Turns per-partition sketches into the feature vectors PS3's picker
+consumes: pre-computed per-column statistics (measures, distinct values,
+heavy hitters, occurrence bitmaps) combined at query time with
+query-specific selectivity estimates, under a query-dependent column mask.
+"""
+
+from repro.stats.bitmap import occurrence_bitmaps
+from repro.stats.features import FeatureBuilder, FeatureSchema, QueryFeatures
+from repro.stats.normalization import Normalizer
+from repro.stats.selectivity import SelectivityEstimate, estimate_selectivity
+
+__all__ = [
+    "FeatureBuilder",
+    "FeatureSchema",
+    "Normalizer",
+    "QueryFeatures",
+    "SelectivityEstimate",
+    "estimate_selectivity",
+    "occurrence_bitmaps",
+]

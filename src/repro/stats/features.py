@@ -1,0 +1,282 @@
+"""Feature vectors for partitions (paper Table 2 and section 3.2).
+
+The feature schema is determined entirely by the dataset's table schema
+plus the workload's group-by universe, so every query over one dataset
+shares the same layout:
+
+* one block of 17 per-column statistics for every column — 9 measure
+  statistics (zeroed for categorical columns and for log-variants of
+  non-positive columns), 5 distinct-value statistics from AKMV, and 3
+  heavy-hitter statistics;
+* one occurrence-bitmap block (k <= 25 bits) per *potential grouping
+  column*;
+* 5 query-specific selectivity features.
+
+At query time a column mask is applied: statistic blocks of columns the
+query does not reference are zeroed, and bitmap blocks are only live for
+the query's actual group-by columns (section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.query import Query
+from repro.errors import ConfigError
+from repro.sketches.builder import ColumnStatistics, DatasetStatistics
+from repro.stats.bitmap import occurrence_bitmaps
+from repro.stats.selectivity import estimate_selectivity
+
+#: (stat key, category, family) — families follow Appendix B.1's feature
+#: listing so feature selection can drop a statistic across all columns.
+STAT_SPECS: tuple[tuple[str, str, str], ...] = (
+    ("mean", "measure", "x"),
+    ("mean_sq", "measure", "x2"),
+    ("std", "measure", "std"),
+    ("min", "measure", "min(x)"),
+    ("max", "measure", "max(x)"),
+    ("log_mean", "measure", "log(x)"),
+    ("log_mean_sq", "measure", "log2(x)"),
+    ("log_min", "measure", "min(log(x))"),
+    ("log_max", "measure", "max(log(x))"),
+    ("dv_count", "dv", "# dv"),
+    ("dv_freq_avg", "dv", "avg dv"),
+    ("dv_freq_max", "dv", "max dv"),
+    ("dv_freq_min", "dv", "min dv"),
+    ("dv_freq_sum", "dv", "sum dv"),
+    ("hh_count", "hh", "# hh"),
+    ("hh_freq_avg", "hh", "avg hh"),
+    ("hh_freq_max", "hh", "max hh"),
+)
+
+SELECTIVITY_SPECS: tuple[tuple[str, str, str], ...] = (
+    ("selectivity_upper", "selectivity", "selectivity_upper"),
+    ("selectivity_lower", "selectivity", "selectivity_lower"),
+    ("selectivity_indep", "selectivity", "selectivity_indep"),
+    ("selectivity_min", "selectivity", "selectivity_min"),
+    ("selectivity_max", "selectivity", "selectivity_max"),
+)
+
+NUM_STATS = len(STAT_SPECS)
+NUM_SELECTIVITY = len(SELECTIVITY_SPECS)
+
+
+@dataclass(frozen=True)
+class FeatureInfo:
+    """Metadata for one feature dimension."""
+
+    index: int
+    name: str
+    category: str  # measure | dv | hh | selectivity (Figure 5 buckets)
+    family: str  # Algorithm 3 feature-selection granularity
+    column: str | None  # None for selectivity features
+
+
+@dataclass
+class FeatureSchema:
+    """Layout of the feature vector for one dataset + workload."""
+
+    columns: tuple[str, ...]
+    groupby_columns: tuple[str, ...]
+    bitmap_widths: dict[str, int]
+    features: tuple[FeatureInfo, ...] = field(init=False)
+    stat_offsets: dict[str, int] = field(init=False)
+    bitmap_offsets: dict[str, int] = field(init=False)
+    selectivity_offset: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        infos: list[FeatureInfo] = []
+        stat_offsets: dict[str, int] = {}
+        for name in self.columns:
+            stat_offsets[name] = len(infos)
+            for key, category, family in STAT_SPECS:
+                infos.append(
+                    FeatureInfo(len(infos), f"{name}:{key}", category, family, name)
+                )
+        bitmap_offsets: dict[str, int] = {}
+        for name in self.groupby_columns:
+            bitmap_offsets[name] = len(infos)
+            for bit in range(self.bitmap_widths.get(name, 0)):
+                infos.append(
+                    FeatureInfo(
+                        len(infos), f"{name}:bitmap[{bit}]", "hh", "hh bitmap", name
+                    )
+                )
+        self.selectivity_offset = len(infos)
+        for key, category, family in SELECTIVITY_SPECS:
+            infos.append(FeatureInfo(len(infos), key, category, family, None))
+        self.features = tuple(infos)
+        self.stat_offsets = stat_offsets
+        self.bitmap_offsets = bitmap_offsets
+
+    @property
+    def dimension(self) -> int:
+        return len(self.features)
+
+    @property
+    def selectivity_upper_index(self) -> int:
+        return self.selectivity_offset  # upper is the first selectivity slot
+
+    def families(self) -> tuple[str, ...]:
+        """Distinct feature families, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for info in self.features:
+            seen.setdefault(info.family, None)
+        return tuple(seen)
+
+    def family_indices(self, family: str) -> np.ndarray:
+        return np.array(
+            [info.index for info in self.features if info.family == family],
+            dtype=np.intp,
+        )
+
+    def category_indices(self, category: str) -> np.ndarray:
+        return np.array(
+            [info.index for info in self.features if info.category == category],
+            dtype=np.intp,
+        )
+
+    def stat_slice(self, column: str) -> slice:
+        offset = self.stat_offsets[column]
+        return slice(offset, offset + NUM_STATS)
+
+    def bitmap_slice(self, column: str) -> slice:
+        offset = self.bitmap_offsets[column]
+        return slice(offset, offset + self.bitmap_widths.get(column, 0))
+
+    def selectivity_slice(self) -> slice:
+        return slice(self.selectivity_offset, self.selectivity_offset + NUM_SELECTIVITY)
+
+
+def _stat_vector(cstats: ColumnStatistics) -> np.ndarray:
+    """The 17 per-column statistics of one partition (Table 2)."""
+    out = np.zeros(NUM_STATS, dtype=np.float64)
+    measures = cstats.measures
+    if measures is not None:
+        out[0] = measures.mean
+        out[1] = measures.mean_sq
+        out[2] = measures.std
+        out[3] = measures.min_value()
+        out[4] = measures.max_value()
+        out[5] = measures.log_mean
+        out[6] = measures.log_mean_sq
+        out[7] = measures.log_min_value()
+        out[8] = measures.log_max_value()
+    if cstats.akmv is not None:
+        avg, mx, mn, total = cstats.akmv.freq_stats()
+        out[9] = cstats.akmv.distinct_estimate()
+        out[10] = avg
+        out[11] = mx
+        out[12] = mn
+        out[13] = total
+    if cstats.heavy_hitter is not None:
+        count, avg, mx = cstats.heavy_hitter.stats()
+        out[14] = count
+        out[15] = avg
+        out[16] = mx
+    return out
+
+
+@dataclass
+class QueryFeatures:
+    """The feature matrix F (N x M) for one query, plus conveniences."""
+
+    schema: FeatureSchema
+    query: Query
+    matrix: np.ndarray
+
+    @property
+    def num_partitions(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def selectivity_upper(self) -> np.ndarray:
+        """Per-partition ``selectivity_upper`` (the perfect-recall filter)."""
+        return self.matrix[:, self.schema.selectivity_upper_index]
+
+    def passing_partitions(self) -> np.ndarray:
+        """Indices of partitions that may contain qualifying rows."""
+        return np.flatnonzero(self.selectivity_upper > 0.0)
+
+
+class FeatureBuilder:
+    """Builds per-query feature matrices from dataset statistics.
+
+    The static part (per-column statistics and bitmaps) is assembled once;
+    ``features_for_query`` applies the query mask and appends fresh
+    selectivity estimates.
+    """
+
+    def __init__(
+        self,
+        dataset: DatasetStatistics,
+        groupby_columns: tuple[str, ...],
+    ) -> None:
+        for name in groupby_columns:
+            if name not in dataset.schema:
+                raise ConfigError(f"group-by universe column {name!r} not in schema")
+        self.dataset = dataset
+        widths = {
+            name: min(
+                len(dataset.global_heavy_hitters.get(name, ())),
+                dataset.config.bitmap_k,
+            )
+            for name in groupby_columns
+        }
+        self.schema = FeatureSchema(
+            columns=dataset.schema.names,
+            groupby_columns=tuple(groupby_columns),
+            bitmap_widths=widths,
+        )
+        self._static = self._build_static()
+
+    def _build_static(self) -> np.ndarray:
+        n = self.dataset.num_partitions
+        static = np.zeros((n, self.schema.selectivity_offset), dtype=np.float64)
+        for name in self.schema.columns:
+            block = self.schema.stat_slice(name)
+            for p in range(n):
+                static[p, block] = _stat_vector(self.dataset.column_stats(p, name))
+        for name in self.schema.groupby_columns:
+            block = self.schema.bitmap_slice(name)
+            if block.stop > block.start:
+                static[:, block] = occurrence_bitmaps(self.dataset, name)[
+                    :, : block.stop - block.start
+                ]
+        return static
+
+    @property
+    def static_matrix(self) -> np.ndarray:
+        """The unmasked static features (read-only view)."""
+        return self._static
+
+    def refresh(self) -> None:
+        """Rebuild static features after partitions were appended.
+
+        The feature *schema* (including bitmap widths, which derive from
+        the global heavy hitters frozen at construction) stays fixed so
+        trained models remain applicable; only the matrix grows. Retrain
+        when the dataset drifts (see ``PS3.staleness``).
+        """
+        self._static = self._build_static()
+
+    def features_for_query(self, query: Query) -> QueryFeatures:
+        """Masked static features + selectivity estimates for ``query``."""
+        n = self.dataset.num_partitions
+        matrix = np.zeros((n, self.schema.dimension), dtype=np.float64)
+        used = query.columns()
+        for name in self.schema.columns:
+            if name in used:
+                block = self.schema.stat_slice(name)
+                matrix[:, block] = self._static[:, block]
+        for name in self.schema.groupby_columns:
+            if name in query.group_by:
+                block = self.schema.bitmap_slice(name)
+                matrix[:, block] = self._static[:, block]
+        sel_block = self.schema.selectivity_slice()
+        for p in range(n):
+            estimate = estimate_selectivity(query.predicate, self.dataset.partitions[p])
+            matrix[p, sel_block] = estimate.as_tuple()
+        return QueryFeatures(schema=self.schema, query=query, matrix=matrix)

@@ -1,0 +1,61 @@
+"""Feature normalization for clustering and learning (paper Appendix B.1).
+
+Prior to clustering, summary statistics are normalized so no single
+statistic dominates Euclidean distances:
+
+1. a log transformation tames the skew of all statistics *except* the
+   selectivity estimates — we use the signed ``log1p`` so negative measures
+   (e.g. a negative column minimum) stay well-defined;
+2. selectivity estimates, already in [0, 1], get a cube-root transformation;
+3. every feature is scaled by its *average* absolute value over the
+   training set (the average is more outlier-robust than the max). Test
+   queries reuse the training averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.stats.features import FeatureSchema
+
+
+def _transform(matrix: np.ndarray, selectivity: slice) -> np.ndarray:
+    out = np.sign(matrix) * np.log1p(np.abs(matrix))
+    sel = matrix[:, selectivity]
+    out[:, selectivity] = np.cbrt(sel)
+    return out
+
+
+@dataclass
+class Normalizer:
+    """Fit on training feature matrices; transform any feature matrix."""
+
+    schema: FeatureSchema
+    scale: np.ndarray | None = field(default=None)
+
+    def fit(self, matrices: list[np.ndarray]) -> Normalizer:
+        """Learn per-feature scales from the training queries' matrices."""
+        stacked = np.vstack(matrices)
+        transformed = _transform(stacked, self.schema.selectivity_slice())
+        averages = np.abs(transformed).mean(axis=0)
+        averages[averages == 0.0] = 1.0  # constant-zero features pass through
+        self.scale = averages
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self.scale is not None
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply log/cbrt transforms and training-average scaling."""
+        if self.scale is None:
+            raise NotFittedError("Normalizer.transform called before fit")
+        transformed = _transform(matrix, self.schema.selectivity_slice())
+        return transformed / self.scale
+
+    def fit_transform(self, matrices: list[np.ndarray]) -> list[np.ndarray]:
+        self.fit(matrices)
+        return [self.transform(m) for m in matrices]

@@ -1,0 +1,19 @@
+"""Persistence for statistics and trained picker models.
+
+A production deployment builds sketches at partition-seal time and trains
+the picker offline (paper section 2.3); both artifacts must survive
+process restarts and live next to — not inside — the data. This package
+provides pickle-free on-disk formats:
+
+* :mod:`~repro.storage.stats_io` — a single binary statistics file per
+  (dataset, layout): JSON manifest + concatenated sketch encodings,
+  byte-for-byte the same encodings Table 4 measures;
+* :mod:`~repro.storage.model_io` — a JSON model file capturing the
+  normalizer, the regressor funnel (tree arrays + bin edges), thresholds,
+  and excluded clustering families.
+"""
+
+from repro.storage.model_io import load_model, save_model
+from repro.storage.stats_io import load_statistics, save_statistics
+
+__all__ = ["load_model", "load_statistics", "save_model", "save_statistics"]

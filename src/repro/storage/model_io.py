@@ -1,0 +1,75 @@
+"""On-disk format for trained picker models.
+
+A model file is plain JSON: the normalizer scale vector, the thresholds,
+the excluded clustering feature families, the group-by universe the
+feature builder was constructed with, and the full regressor funnel via
+:meth:`repro.ml.gbrt.GBRTRegressor.to_state`. Loading re-binds the model
+to a :class:`~repro.sketches.builder.DatasetStatistics` (statistics are
+stored separately — they change when partitions are appended; the model
+only changes on retraining).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.training import PickerModel
+from repro.errors import ConfigError
+from repro.ml.gbrt import GBRTRegressor
+from repro.sketches.builder import DatasetStatistics
+from repro.stats.features import FeatureBuilder
+from repro.stats.normalization import Normalizer
+
+_MAGIC_VERSION = 1
+
+
+def save_model(model: PickerModel, path: str | Path) -> None:
+    """Write a trained picker model to ``path`` (JSON)."""
+    if model.normalizer.scale is None:
+        raise ConfigError("cannot save an unfitted model (normalizer has no scale)")
+    payload = {
+        "version": _MAGIC_VERSION,
+        "groupby_columns": list(model.feature_builder.schema.groupby_columns),
+        "feature_dimension": model.feature_builder.schema.dimension,
+        "normalizer_scale": model.normalizer.scale.tolist(),
+        "thresholds": model.thresholds.tolist(),
+        "excluded_families": sorted(model.excluded_families),
+        "regressors": [regressor.to_state() for regressor in model.regressors],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_model(path: str | Path, statistics: DatasetStatistics) -> PickerModel:
+    """Read a model and re-bind it to (freshly loaded) statistics.
+
+    The statistics must describe the same dataset/workload the model was
+    trained for; the feature dimension is cross-checked to catch obvious
+    mismatches (schema drift requires retraining, paper section 7).
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != _MAGIC_VERSION:
+        raise ConfigError(f"unsupported model file version {payload.get('version')!r}")
+    feature_builder = FeatureBuilder(
+        statistics, tuple(payload["groupby_columns"])
+    )
+    if feature_builder.schema.dimension != payload["feature_dimension"]:
+        raise ConfigError(
+            "statistics do not match the model: feature dimension "
+            f"{feature_builder.schema.dimension} != "
+            f"{payload['feature_dimension']} (retrain after schema or "
+            "bitmap changes)"
+        )
+    normalizer = Normalizer(feature_builder.schema)
+    normalizer.scale = np.asarray(payload["normalizer_scale"], dtype=np.float64)
+    return PickerModel(
+        feature_builder=feature_builder,
+        normalizer=normalizer,
+        regressors=[
+            GBRTRegressor.from_state(state) for state in payload["regressors"]
+        ],
+        thresholds=np.asarray(payload["thresholds"], dtype=np.float64),
+        excluded_families=frozenset(payload["excluded_families"]),
+    )

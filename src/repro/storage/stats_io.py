@@ -1,0 +1,164 @@
+"""On-disk format for dataset statistics.
+
+Layout of a ``.ps3stats`` file::
+
+    [8-byte little-endian manifest length][manifest JSON][sketch blob]
+
+The manifest records the schema (so loading is self-describing), the
+sketch configuration, the global heavy hitters, and for every partition
+and column the (offset, length) of each sketch encoding inside the blob.
+Sketch bytes are exactly the ``to_bytes`` encodings the sketches define,
+so storage accounting matches what Table 4 measures.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.errors import ConfigError
+from repro.sketches.akmv import AKMVSketch
+from repro.sketches.builder import (
+    ColumnStatistics,
+    DatasetStatistics,
+    PartitionStatistics,
+    SketchConfig,
+)
+from repro.sketches.exact_dict import ExactDictionary
+from repro.sketches.heavy_hitter import HeavyHitterSketch
+from repro.sketches.histogram import EquiDepthHistogram
+from repro.sketches.measures import MeasuresSketch
+
+_MAGIC_VERSION = 1
+
+_SKETCH_TYPES = {
+    "measures": MeasuresSketch,
+    "histogram": EquiDepthHistogram,
+    "akmv": AKMVSketch,
+    "heavy_hitter": HeavyHitterSketch,
+    "exact_dict": ExactDictionary,
+}
+_SKETCH_FIELDS = tuple(_SKETCH_TYPES)
+
+
+def _encode_hh_value(value: object) -> list:
+    if isinstance(value, str):
+        return ["s", value]
+    return ["f", float(value)]
+
+
+def _decode_hh_value(tagged: list) -> object:
+    tag, value = tagged
+    return value if tag == "s" else float(value)
+
+
+def _schema_to_json(schema: Schema) -> list[dict]:
+    return [
+        {
+            "name": column.name,
+            "kind": column.kind.value,
+            "positive": column.positive,
+            "low_cardinality": column.low_cardinality,
+        }
+        for column in schema
+    ]
+
+
+def _schema_from_json(columns: list[dict]) -> Schema:
+    return Schema(
+        tuple(
+            Column(
+                name=c["name"],
+                kind=ColumnKind(c["kind"]),
+                positive=c["positive"],
+                low_cardinality=c["low_cardinality"],
+            )
+            for c in columns
+        )
+    )
+
+
+def save_statistics(stats: DatasetStatistics, path: str | Path) -> None:
+    """Write dataset statistics to ``path`` (single binary file)."""
+    blob = bytearray()
+    partitions_manifest = []
+    for pstats in stats.partitions:
+        columns_manifest: dict[str, dict] = {}
+        for name, cstats in pstats.columns.items():
+            entry: dict[str, list[int]] = {}
+            for field in _SKETCH_FIELDS:
+                sketch = getattr(cstats, field)
+                if sketch is None:
+                    continue
+                encoded = sketch.to_bytes()
+                entry[field] = [len(blob), len(encoded)]
+                blob.extend(encoded)
+            columns_manifest[name] = entry
+        partitions_manifest.append(
+            {
+                "index": pstats.partition_index,
+                "num_rows": pstats.num_rows,
+                "columns": columns_manifest,
+            }
+        )
+    manifest = {
+        "version": _MAGIC_VERSION,
+        "schema": _schema_to_json(stats.schema),
+        "config": {
+            "histogram_buckets": stats.config.histogram_buckets,
+            "akmv_k": stats.config.akmv_k,
+            "hh_support": stats.config.hh_support,
+            "hh_epsilon": stats.config.hh_epsilon,
+            "exact_dict_limit": stats.config.exact_dict_limit,
+            "bitmap_k": stats.config.bitmap_k,
+        },
+        "global_heavy_hitters": {
+            column: [_encode_hh_value(v) for v in values]
+            for column, values in stats.global_heavy_hitters.items()
+        },
+        "partitions": partitions_manifest,
+    }
+    header = json.dumps(manifest).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(struct.pack("<Q", len(header)))
+        handle.write(header)
+        handle.write(bytes(blob))
+
+
+def load_statistics(path: str | Path) -> DatasetStatistics:
+    """Read dataset statistics written by :func:`save_statistics`."""
+    with open(path, "rb") as handle:
+        (header_size,) = struct.unpack("<Q", handle.read(8))
+        manifest = json.loads(handle.read(header_size).decode("utf-8"))
+        blob = handle.read()
+    if manifest.get("version") != _MAGIC_VERSION:
+        raise ConfigError(
+            f"unsupported statistics file version {manifest.get('version')!r}"
+        )
+    schema = _schema_from_json(manifest["schema"])
+    config = SketchConfig(**manifest["config"])
+    partitions = []
+    for pmanifest in manifest["partitions"]:
+        columns: dict[str, ColumnStatistics] = {}
+        for name, entry in pmanifest["columns"].items():
+            cstats = ColumnStatistics(column=schema[name])
+            for field, (offset, length) in entry.items():
+                sketch_type = _SKETCH_TYPES[field]
+                payload = blob[offset : offset + length]
+                setattr(cstats, field, sketch_type.from_bytes(payload))
+            columns[name] = cstats
+        partitions.append(
+            PartitionStatistics(
+                partition_index=pmanifest["index"],
+                num_rows=pmanifest["num_rows"],
+                columns=columns,
+            )
+        )
+    stats = DatasetStatistics(schema=schema, config=config, partitions=partitions)
+    stats.global_heavy_hitters = {
+        column: tuple(_decode_hh_value(v) for v in values)
+        for column, values in manifest["global_heavy_hitters"].items()
+    }
+    return stats

@@ -1,0 +1,16 @@
+"""Workload specification and random query generation.
+
+PS3 is trained per dataset/layout/workload: the picker knows the universe
+of group-by columnsets and aggregate functions in advance, while predicates
+vary freely within the supported scope (paper section 2.1,
+"Generalization"). :class:`~repro.workload.spec.WorkloadSpec` captures that
+universe; :class:`~repro.workload.generator.QueryGenerator` samples
+training and test queries from it the way section 5.1.2 describes; and
+:mod:`repro.workload.tpch_queries` provides the ten TPC-H-style templates
+of the generalization test (section 5.5.4).
+"""
+
+from repro.workload.generator import QueryGenerator
+from repro.workload.spec import WorkloadSpec
+
+__all__ = ["QueryGenerator", "WorkloadSpec"]

@@ -1,0 +1,183 @@
+"""Random query generation (paper section 5.1.2).
+
+Training and test queries are sampled from the same distribution: a random
+number of group-by columns from the workload universe, 0..5 random
+predicate clauses (each picking a column, an operator, and a constant at
+random), and 1..3 aggregates. Constants are drawn from actual rows of the
+table so predicates hit realistic value ranges, and generated queries are
+deduplicated by their rendered label so train and test sets never overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.aggregates import Aggregate, avg_of, count_star, sum_of
+from repro.engine.expressions import ColumnRef
+from repro.engine.predicates import (
+    And,
+    Comparison,
+    Contains,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.engine.query import Query
+from repro.engine.schema import ColumnKind
+from repro.engine.table import Table
+from repro.errors import ConfigError
+from repro.workload.spec import GeneratorTuning, WorkloadSpec
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+class QueryGenerator:
+    """Samples queries from a workload spec over a concrete table."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        table: Table,
+        seed: int = 0,
+        tuning: GeneratorTuning | None = None,
+    ) -> None:
+        spec.validate_against(table.schema)
+        self.spec = spec
+        self.table = table
+        self.tuning = tuning or GeneratorTuning()
+        self._rng = np.random.default_rng(seed)
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _random_constant(self, column: str):
+        """A constant drawn from an actual row (value-distribution aware)."""
+        values = self.table.columns[column]
+        return values[self._rng.integers(len(values))]
+
+    def _numeric_clause(self, column: str) -> Predicate:
+        value = float(self._random_constant(column))
+        if self._rng.random() < self.tuning.equality_probability:
+            op = "==" if self._rng.random() < 0.8 else "!="
+        else:
+            op = _RANGE_OPS[self._rng.integers(len(_RANGE_OPS))]
+        return Comparison(column, op, value)
+
+    def _date_clause(self, column: str) -> Predicate:
+        value = int(self._random_constant(column))
+        op = _RANGE_OPS[self._rng.integers(len(_RANGE_OPS))]
+        return Comparison(column, op, value)
+
+    def _categorical_clause(self, column: str) -> Predicate:
+        schema_column = self.table.schema[column]
+        if (
+            schema_column.low_cardinality
+            and self._rng.random() < self.tuning.contains_probability
+        ):
+            value = str(self._random_constant(column))
+            # Substring of a real value, so the filter matches something.
+            if len(value) > 2:
+                start = self._rng.integers(0, len(value) - 1)
+                stop = self._rng.integers(start + 1, len(value))
+                fragment = value[start : stop + 1]
+            else:
+                fragment = value
+            return Contains(column, fragment)
+        size = int(self._rng.integers(1, self.tuning.in_set_max + 1))
+        values = {str(self._random_constant(column)) for __ in range(size)}
+        return InSet(column, values)
+
+    def _clause(self, column: str) -> Predicate:
+        kind = self.table.schema[column].kind
+        if kind is ColumnKind.NUMERIC:
+            clause = self._numeric_clause(column)
+        elif kind is ColumnKind.DATE:
+            clause = self._date_clause(column)
+        else:
+            clause = self._categorical_clause(column)
+        if self._rng.random() < self.tuning.negate_probability:
+            return Not(clause)
+        return clause
+
+    def _predicate(self) -> Predicate | None:
+        num_clauses = int(
+            self._rng.integers(0, self.spec.max_predicate_clauses + 1)
+        )
+        if num_clauses == 0:
+            return None
+        columns = self._rng.choice(
+            self.spec.predicate_columns,
+            size=num_clauses,
+            replace=True,
+        )
+        clauses = [self._clause(str(c)) for c in columns]
+        if len(clauses) == 1:
+            return clauses[0]
+        if self._rng.random() < self.tuning.or_probability:
+            return Or(clauses)
+        return And(clauses)
+
+    def _aggregate(self) -> Aggregate:
+        roll = self._rng.random()
+        if roll < self.tuning.count_star_probability:
+            return count_star()
+        targets = list(self.spec.aggregate_columns) + list(
+            self.spec.aggregate_expressions
+        )
+        target = targets[self._rng.integers(len(targets))]
+        expr = ColumnRef(target) if isinstance(target, str) else target
+        if roll < self.tuning.count_star_probability + self.tuning.avg_probability:
+            return avg_of(expr)
+        return sum_of(expr)
+
+    def _group_by(self) -> tuple[str, ...]:
+        cap = min(self.spec.max_groupby_columns, len(self.spec.groupby_universe))
+        count = int(self._rng.integers(0, cap + 1))
+        if count == 0:
+            return ()
+        chosen = self._rng.choice(
+            self.spec.groupby_universe, size=count, replace=False
+        )
+        return tuple(sorted(str(c) for c in chosen))
+
+    # -- public API -----------------------------------------------------------
+
+    def sample_query(self) -> Query:
+        """One random query from the workload distribution."""
+        num_aggs = int(self._rng.integers(1, self.spec.max_aggregates + 1))
+        aggregates = [self._aggregate() for __ in range(num_aggs)]
+        return Query(aggregates, self._predicate(), self._group_by())
+
+    def sample_queries(
+        self, count: int, exclude: set[str] | None = None
+    ) -> list[Query]:
+        """``count`` distinct queries, also distinct from ``exclude`` labels.
+
+        ``exclude`` is how test sets guarantee zero overlap with training
+        sets (paper section 5.1.2).
+        """
+        seen = set(exclude or ())
+        out: list[Query] = []
+        attempts = 0
+        while len(out) < count:
+            attempts += 1
+            if attempts > 100 * count:
+                raise ConfigError(
+                    "could not generate enough distinct queries; "
+                    "the workload spec may be too narrow"
+                )
+            query = self.sample_query()
+            label = query.label()
+            if label in seen:
+                continue
+            seen.add(label)
+            out.append(query)
+        return out
+
+    def train_test_split(
+        self, num_train: int, num_test: int
+    ) -> tuple[list[Query], list[Query]]:
+        """Disjoint training and held-out test query sets."""
+        train = self.sample_queries(num_train)
+        test = self.sample_queries(num_test, exclude={q.label() for q in train})
+        return train, test

@@ -1,0 +1,89 @@
+"""Workload specifications.
+
+A workload tells the picker what is knowable in advance (paper section
+2.1): which columns can appear in GROUP BY clauses, which aggregate
+columns/expressions occur, and which columns predicates may constrain.
+Concrete predicates are *not* part of the spec — they are sampled at query
+time — matching the paper's middle ground between full-workload knowledge
+and workload agnosticism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expressions import Expression
+from repro.engine.schema import Schema
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The known structure of a query workload over one dataset.
+
+    Parameters
+    ----------
+    groupby_universe:
+        Columns eligible to appear in GROUP BY clauses (the paper requires
+        moderate distinctiveness; pick columns accordingly).
+    aggregate_columns:
+        Numeric columns SUM/AVG may aggregate directly.
+    aggregate_expressions:
+        Richer projections (e.g. ``l_extendedprice * (1 - l_discount)``)
+        that appear in the workload's SELECT lists.
+    predicate_columns:
+        Columns predicates may constrain (numeric, date, or categorical).
+    max_groupby_columns:
+        Cap on group-by columns per query. The paper samples 0-8; at our
+        reduced data scale the default caps at 2 so group cardinalities
+        stay moderate relative to partition counts.
+    max_predicate_clauses:
+        Cap on predicate clauses per query (paper: 0-5).
+    max_aggregates:
+        Cap on aggregates per query (paper: 1-3).
+    """
+
+    groupby_universe: tuple[str, ...]
+    aggregate_columns: tuple[str, ...]
+    predicate_columns: tuple[str, ...]
+    aggregate_expressions: tuple[Expression, ...] = ()
+    max_groupby_columns: int = 2
+    max_predicate_clauses: int = 5
+    max_aggregates: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.aggregate_columns and not self.aggregate_expressions:
+            raise ConfigError("workload needs at least one aggregate target")
+        if self.max_groupby_columns < 0 or self.max_predicate_clauses < 0:
+            raise ConfigError("workload caps must be non-negative")
+        if self.max_aggregates < 1:
+            raise ConfigError("max_aggregates must be >= 1")
+
+    def validate_against(self, schema: Schema) -> None:
+        """Check every referenced column exists with a sane kind."""
+        for name in self.groupby_universe + self.predicate_columns:
+            schema.require(name)
+        for name in self.aggregate_columns:
+            column = schema.require(name)
+            if not column.is_numeric:
+                raise ConfigError(f"aggregate column {name!r} is not numeric")
+        for expr in self.aggregate_expressions:
+            for name in expr.columns():
+                schema.require(name)
+
+
+@dataclass(frozen=True)
+class GeneratorTuning:
+    """Distributional knobs for the random query generator.
+
+    Probabilities follow the paper's description loosely; they only shape
+    the training/test distribution, and both sides always share it.
+    """
+
+    or_probability: float = 0.3  # top-level OR instead of AND
+    negate_probability: float = 0.1  # wrap a clause in NOT
+    equality_probability: float = 0.2  # numeric '==' instead of range op
+    contains_probability: float = 0.15  # Contains on low-card columns
+    in_set_max: int = 3  # max values in an IN set
+    count_star_probability: float = 0.25
+    avg_probability: float = 0.25

@@ -1,0 +1,269 @@
+"""TPC-H query templates for the generalization test (paper section 5.5.4).
+
+The paper tests PS3 — trained only on randomly generated queries — on 10
+unseen TPC-H queries its scope supports (Q1, 5, 6, 7, 8, 9, 12, 14, 17,
+18, 19), instantiating 20 random variants per template. These analogues
+target the synthetic denormalized schema of :mod:`repro.datasets.tpch`:
+each template mirrors its query's aggregates, grouping, and predicate
+*shape* (Q19's 20+-clause disjunction triggers the clustering fallback,
+Q1's rare-group layout sensitivity, ...), with constants randomized per
+instantiation the way the paper generates test variants.
+
+Q18's customer/order grouping exceeds the supported cardinality at our
+scale, so its analogue groups by order priority; Q8's nested market-share
+query is rewritten as revenue aggregates over the region/type predicate
+(the paper likewise rewrites its CASE aggregate as an aggregate over a
+predicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.tpch import (
+    _BRANDS,
+    _CONTAINERS,
+    _NATIONS,
+    _REGIONS,
+    _SEGMENTS,
+    _SHIPMODES,
+    _TYPES,
+)
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.expressions import Const, col
+from repro.engine.predicates import And, Comparison, Contains, InSet, Or
+from repro.engine.query import Query
+
+_REVENUE = col("l_extendedprice") * (Const(1.0) - col("l_discount"))
+_YEAR_DAYS = 365
+
+
+def _q1(rng: np.random.Generator) -> Query:
+    """Pricing summary report: full-table group-by with a date cutoff."""
+    cutoff = int(rng.integers(int(6.5 * _YEAR_DAYS), 7 * _YEAR_DAYS))
+    return Query(
+        [
+            sum_of(col("l_quantity")),
+            sum_of(col("l_extendedprice")),
+            sum_of(_REVENUE),
+            avg_of(col("l_quantity")),
+            avg_of(col("l_extendedprice")),
+            count_star(),
+        ],
+        Comparison("l_shipdate", "<=", cutoff),
+        ("l_returnflag", "l_linestatus"),
+    )
+
+
+def _q5(rng: np.random.Generator) -> Query:
+    """Local supplier volume: revenue per nation within a region + year."""
+    region = str(rng.choice(_REGIONS))
+    start = int(rng.integers(0, 6 * _YEAR_DAYS))
+    return Query(
+        [sum_of(_REVENUE)],
+        And(
+            [
+                InSet("r1_name", {region}),
+                Comparison("o_orderdate", ">=", start),
+                Comparison("o_orderdate", "<", start + _YEAR_DAYS),
+            ]
+        ),
+        ("n1_name",),
+    )
+
+
+def _q6(rng: np.random.Generator) -> Query:
+    """Forecast revenue change: tight range predicate, no group-by."""
+    start = int(rng.integers(0, 6 * _YEAR_DAYS))
+    discount = float(rng.integers(2, 10)) / 100.0
+    quantity = float(rng.integers(24, 26))
+    return Query(
+        [sum_of(col("l_extendedprice") * col("l_discount"))],
+        And(
+            [
+                Comparison("l_shipdate", ">=", start),
+                Comparison("l_shipdate", "<", start + _YEAR_DAYS),
+                Comparison("l_discount", ">=", discount - 0.011),
+                Comparison("l_discount", "<=", discount + 0.011),
+                Comparison("l_quantity", "<", quantity),
+            ]
+        ),
+    )
+
+
+def _q7(rng: np.random.Generator) -> Query:
+    """Volume shipping between two nations by year."""
+    nations = rng.choice(_NATIONS, size=2, replace=False)
+    return Query(
+        [sum_of(_REVENUE)],
+        And(
+            [
+                InSet("n1_name", set(map(str, nations))),
+                InSet("n2_name", set(map(str, nations))),
+                Comparison("l_shipdate", ">=", int(3 * _YEAR_DAYS)),
+                Comparison("l_shipdate", "<=", int(5 * _YEAR_DAYS)),
+            ]
+        ),
+        ("l_year", "n1_name", "n2_name"),
+    )
+
+
+def _q8(rng: np.random.Generator) -> Query:
+    """National market share (flattened): revenue by order year."""
+    region = str(rng.choice(_REGIONS))
+    ptype = str(rng.choice(_TYPES))
+    return Query(
+        [sum_of(_REVENUE), count_star()],
+        And(
+            [
+                InSet("r1_name", {region}),
+                InSet("p_type", {ptype}),
+                Comparison("o_orderdate", ">=", int(3 * _YEAR_DAYS)),
+                Comparison("o_orderdate", "<=", int(5 * _YEAR_DAYS)),
+            ]
+        ),
+        ("o_year",),
+    )
+
+
+def _q9(rng: np.random.Generator) -> Query:
+    """Product-type profit by supplier nation and year."""
+    fragment = str(rng.choice(_TYPES))[:5]  # 'type#' prefix family
+    profit = _REVENUE - col("ps_supplycost") * col("l_quantity")
+    return Query(
+        [sum_of(profit)],
+        Contains("p_type", fragment),
+        ("n2_name", "o_year"),
+    )
+
+
+def _q12(rng: np.random.Generator) -> Query:
+    """Shipping-mode priority counts within a receipt-date year."""
+    modes = rng.choice(_SHIPMODES, size=2, replace=False)
+    start = int(rng.integers(0, 6 * _YEAR_DAYS))
+    return Query(
+        [count_star()],
+        And(
+            [
+                InSet("l_shipmode", set(map(str, modes))),
+                Comparison("l_receiptdate", ">=", start),
+                Comparison("l_receiptdate", "<", start + _YEAR_DAYS),
+            ]
+        ),
+        ("l_shipmode",),
+    )
+
+
+def _q14(rng: np.random.Generator) -> Query:
+    """Promotion-effect revenue within one month (Contains filter)."""
+    start = int(rng.integers(0, 7 * _YEAR_DAYS - 30))
+    return Query(
+        [sum_of(_REVENUE), count_star()],
+        And(
+            [
+                Contains("p_type", "type#0"),
+                Comparison("l_shipdate", ">=", start),
+                Comparison("l_shipdate", "<", start + 30),
+            ]
+        ),
+    )
+
+
+def _q17(rng: np.random.Generator) -> Query:
+    """Small-quantity-order revenue for one brand/container."""
+    brand = str(rng.choice(_BRANDS))
+    container = str(rng.choice(_CONTAINERS))
+    quantity = float(rng.integers(2, 8))
+    return Query(
+        [avg_of(col("l_quantity")), sum_of(col("l_extendedprice"))],
+        And(
+            [
+                InSet("p_brand", {brand}),
+                InSet("p_container", {container}),
+                Comparison("l_quantity", "<", quantity),
+            ]
+        ),
+    )
+
+
+def _q18(rng: np.random.Generator) -> Query:
+    """Large-volume customers (cardinality-reduced analogue)."""
+    threshold = float(rng.integers(250_000, 400_000))
+    return Query(
+        [sum_of(col("l_quantity")), count_star()],
+        Comparison("o_totalprice", ">", threshold),
+        ("o_orderpriority", "c_mktsegment"),
+    )
+
+
+def _q19(rng: np.random.Generator) -> Query:
+    """Discounted revenue under a 3-branch disjunction (21 clauses).
+
+    This template's clause count exceeds the picker's clustering cutoff,
+    exercising the random-sampling fallback (Appendix B.1).
+    """
+
+    def branch(qty_low: int, sizes: int) -> And:
+        brand = str(rng.choice(_BRANDS))
+        containers = set(map(str, rng.choice(_CONTAINERS, 2, replace=False)))
+        return And(
+            [
+                InSet("p_brand", {brand}),
+                InSet("p_container", containers),
+                Comparison("l_quantity", ">=", float(qty_low)),
+                Comparison("l_quantity", "<=", float(qty_low + 10)),
+                Comparison("p_size", ">=", 1.0),
+                Comparison("p_size", "<=", float(sizes)),
+                InSet("l_shipmode", {"AIR", "REG AIR"}),
+            ]
+        )
+
+    return Query(
+        [sum_of(_REVENUE)],
+        Or([branch(1, 5), branch(10, 10), branch(20, 15)]),
+    )
+
+
+@dataclass(frozen=True)
+class TPCHTemplate:
+    """A named TPC-H template that instantiates randomized variants."""
+
+    name: str
+    build: Callable[[np.random.Generator], Query]
+
+    def instantiate(self, rng: np.random.Generator) -> Query:
+        return self.build(rng)
+
+    def variants(self, count: int, seed: int = 0) -> list[Query]:
+        rng = np.random.default_rng(seed)
+        return [self.build(rng) for __ in range(count)]
+
+
+TEMPLATES: tuple[TPCHTemplate, ...] = (
+    TPCHTemplate("Q1", _q1),
+    TPCHTemplate("Q5", _q5),
+    TPCHTemplate("Q6", _q6),
+    TPCHTemplate("Q7", _q7),
+    TPCHTemplate("Q8", _q8),
+    TPCHTemplate("Q9", _q9),
+    TPCHTemplate("Q12", _q12),
+    TPCHTemplate("Q14", _q14),
+    TPCHTemplate("Q17", _q17),
+    TPCHTemplate("Q18", _q18),
+    TPCHTemplate("Q19", _q19),
+)
+
+
+def get_template(name: str) -> TPCHTemplate:
+    for template in TEMPLATES:
+        if template.name == name:
+            return template
+    raise KeyError(f"no TPC-H template named {name!r}")
+
+
+# _SEGMENTS is imported for schema parity with Q18's original customer
+# grouping; reference it so linters know it is intentional.
+_ = _SEGMENTS

@@ -1,0 +1,73 @@
+"""Unit tests for the random and filtered-random baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.filtered_random import FilteredRandomSampler
+from repro.baselines.random_sampling import RandomSampler
+from repro.engine.aggregates import count_star
+from repro.engine.predicates import Comparison
+from repro.engine.query import Query
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def any_query():
+    return Query([count_star()])
+
+
+class TestRandomSampler:
+    def test_scaling_weight(self, any_query):
+        sampler = RandomSampler(20, seed=0)
+        selection = sampler.select(any_query, 5)
+        assert len(selection) == 5
+        assert all(c.weight == 4.0 for c in selection)
+
+    def test_without_replacement(self, any_query):
+        sampler = RandomSampler(20, seed=1)
+        selection = sampler.select(any_query, 20)
+        assert len({c.partition for c in selection}) == 20
+        assert all(c.weight == 1.0 for c in selection)
+
+    def test_unbiased_count_estimate(self, any_query):
+        """N/n scaling makes COUNT estimates unbiased over runs."""
+        rng_totals = []
+        values = np.arange(1.0, 41.0)  # per-partition counts
+        for seed in range(300):
+            sampler = RandomSampler(40, seed=seed)
+            selection = sampler.select(any_query, 8)
+            rng_totals.append(sum(values[c.partition] * c.weight for c in selection))
+        assert np.mean(rng_totals) == pytest.approx(values.sum(), rel=0.05)
+
+    def test_zero_budget(self, any_query):
+        assert RandomSampler(5).select(any_query, 0) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RandomSampler(0)
+
+
+class TestFilteredRandomSampler:
+    def test_respects_selectivity_filter(self, trained_ps3):
+        sampler = FilteredRandomSampler(trained_ps3.feature_builder, seed=0)
+        # Only early ship dates pass under the l_shipdate-sorted layout.
+        query = Query([count_star()], Comparison("l_shipdate", "<", 200.0))
+        features = trained_ps3.feature_builder.features_for_query(query)
+        passing = set(features.passing_partitions().tolist())
+        assert 0 < len(passing) < trained_ps3.ptable.num_partitions
+        selection = sampler.select(query, budget=max(1, len(passing) // 2))
+        assert {c.partition for c in selection} <= passing
+
+    def test_weight_scales_by_passing_count(self, trained_ps3):
+        sampler = FilteredRandomSampler(trained_ps3.feature_builder, seed=0)
+        query = Query([count_star()], Comparison("l_shipdate", "<", 200.0))
+        features = trained_ps3.feature_builder.features_for_query(query)
+        passing = features.passing_partitions().size
+        budget = max(1, passing // 2)
+        selection = sampler.select(query, budget)
+        assert selection[0].weight == pytest.approx(passing / budget)
+
+    def test_empty_passing_set(self, trained_ps3):
+        sampler = FilteredRandomSampler(trained_ps3.feature_builder, seed=0)
+        query = Query([count_star()], Comparison("l_quantity", ">", 1e9))
+        assert sampler.select(query, 3) == []

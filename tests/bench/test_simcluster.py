@@ -1,0 +1,78 @@
+"""Unit tests for the cluster cost-model simulator."""
+
+import numpy as np
+import pytest
+
+from repro.bench.simcluster import ClusterSimulator
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def simulator():
+    return ClusterSimulator(num_workers=16, straggler_sigma=0.0)
+
+
+class TestCostModel:
+    def test_compute_is_sum_of_tasks(self, simulator):
+        rows = np.full(32, 1000)
+        outcome = simulator.simulate(rows)
+        expected = 32 * (2.0 + 2e-4 * 1000)
+        assert outcome.total_compute_seconds == pytest.approx(expected)
+        assert outcome.num_tasks == 32
+
+    def test_latency_bounded_by_makespan(self, simulator):
+        rows = np.full(32, 1000)
+        outcome = simulator.simulate(rows)
+        per_task = 2.0 + 2e-4 * 1000
+        # 32 tasks over 16 workers = 2 waves.
+        assert outcome.latency_seconds == pytest.approx(
+            simulator.startup_seconds + 2 * per_task
+        )
+
+    def test_empty_selection(self, simulator):
+        outcome = simulator.simulate(np.array([]))
+        assert outcome.total_compute_seconds == 0.0
+        assert outcome.num_tasks == 0
+
+    def test_stragglers_add_variance(self):
+        noisy = ClusterSimulator(num_workers=16, straggler_sigma=0.5)
+        rng = np.random.default_rng(0)
+        rows = np.full(64, 1000)
+        durations = noisy.task_durations(rows, rng)
+        assert durations.std() > 0.0
+
+
+class TestSpeedups:
+    def test_compute_speedup_near_linear(self):
+        sim = ClusterSimulator(num_workers=128, straggler_sigma=0.2)
+        rng = np.random.default_rng(1)
+        all_rows = np.full(1000, 5000)
+        selected = np.arange(10)  # 1% of partitions
+        latency, compute = sim.speedups(all_rows, selected, rng)
+        assert compute == pytest.approx(100.0, rel=0.2)
+
+    def test_latency_speedup_sublinear(self):
+        """Paper Table 3: latency gains lag compute gains (stragglers)."""
+        sim = ClusterSimulator(num_workers=128, straggler_sigma=0.3)
+        rng = np.random.default_rng(2)
+        all_rows = np.full(1000, 5000)
+        selected = np.arange(10)
+        latency, compute = sim.speedups(all_rows, selected, rng)
+        assert latency < compute
+
+    def test_full_selection_no_speedup(self):
+        sim = ClusterSimulator(num_workers=8, straggler_sigma=0.0)
+        all_rows = np.full(20, 1000)
+        latency, compute = sim.speedups(all_rows, np.arange(20))
+        assert compute == pytest.approx(1.0)
+        assert latency == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ConfigError):
+            ClusterSimulator(num_workers=0)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ConfigError):
+            ClusterSimulator(straggler_sigma=-0.1)

@@ -1,0 +1,94 @@
+"""Shared fixtures: small deterministic tables and a trained PS3 system.
+
+The heavier fixtures (dataset statistics, trained models) are
+session-scoped so the suite stays fast; they use a tiny TPC-H*-like table
+(a few thousand rows, 16 partitions) which is plenty to exercise every
+code path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import PS3
+from repro.datasets.registry import get_dataset
+from repro.engine.layout import partition_evenly, sort_table
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.sketches.builder import build_dataset_statistics
+from repro.stats.features import FeatureBuilder
+from repro.workload.generator import QueryGenerator
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_schema() -> Schema:
+    return Schema.of(
+        Column("x", ColumnKind.NUMERIC, positive=True),
+        Column("y", ColumnKind.NUMERIC),
+        Column("d", ColumnKind.DATE),
+        Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+        Column("tag", ColumnKind.CATEGORICAL),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_table(tiny_schema) -> Table:
+    """1200 rows, deterministic, with skew on `cat` and order on `d`."""
+    gen = np.random.default_rng(7)
+    n = 1200
+    return Table(
+        tiny_schema,
+        {
+            "x": gen.exponential(10.0, n) + 1.0,
+            "y": gen.normal(0.0, 5.0, n),
+            "d": gen.integers(0, 100, n),
+            "cat": gen.choice(["a", "b", "c", "dd"], n, p=[0.55, 0.25, 0.15, 0.05]),
+            "tag": gen.choice([f"t{i:03d}" for i in range(300)], n),
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_ptable(tiny_table):
+    """The tiny table sorted by date and split into 12 partitions."""
+    return partition_evenly(sort_table(tiny_table, "d"), 12)
+
+
+@pytest.fixture(scope="session")
+def tiny_stats(tiny_ptable):
+    return build_dataset_statistics(tiny_ptable)
+
+
+@pytest.fixture(scope="session")
+def tiny_feature_builder(tiny_stats):
+    return FeatureBuilder(tiny_stats, ("cat", "d"))
+
+
+@pytest.fixture(scope="session")
+def tpch_ptable():
+    """A small TPC-H* instance shared by integration-level tests."""
+    return get_dataset("tpch").build(12_000, 32, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tpch_workload():
+    return get_dataset("tpch").workload()
+
+
+@pytest.fixture(scope="session")
+def tpch_queries(tpch_ptable, tpch_workload):
+    generator = QueryGenerator(tpch_workload, tpch_ptable.table, seed=11)
+    return generator.train_test_split(24, 8)
+
+
+@pytest.fixture(scope="session")
+def trained_ps3(tpch_ptable, tpch_workload, tpch_queries):
+    """A fully trained PS3 system (session-scoped: training is the cost)."""
+    train, __ = tpch_queries
+    return PS3(tpch_ptable, tpch_workload).fit(train)

@@ -1,0 +1,72 @@
+"""Unit tests for budget allocation with decay rate alpha."""
+
+import pytest
+
+from repro.core.allocation import allocate_samples
+from repro.errors import ConfigError
+
+
+class TestInvariants:
+    def test_budget_exhausted_exactly(self):
+        counts = allocate_samples([30, 20, 10], budget=12, alpha=2.0)
+        assert sum(counts) == 12
+
+    def test_counts_capped_by_sizes(self):
+        counts = allocate_samples([3, 3, 3], budget=8, alpha=2.0)
+        assert all(c <= s for c, s in zip(counts, [3, 3, 3]))
+        assert sum(counts) == 8
+
+    def test_budget_exceeding_total_takes_everything(self):
+        counts = allocate_samples([4, 2], budget=100, alpha=2.0)
+        assert counts == [4, 2]
+
+    def test_zero_budget(self):
+        assert allocate_samples([5, 5], budget=0, alpha=2.0) == [0, 0]
+
+    def test_empty_groups(self):
+        counts = allocate_samples([0, 10, 0], budget=4, alpha=2.0)
+        assert counts[0] == 0 and counts[2] == 0
+        assert counts[1] == 4
+
+
+class TestDecayBehaviour:
+    def test_important_groups_sample_at_higher_rate(self):
+        sizes = [100, 100, 100]
+        counts = allocate_samples(sizes, budget=70, alpha=2.0)
+        rates = [c / s for c, s in zip(counts, sizes)]
+        assert rates[0] < rates[1] < rates[2]
+        assert rates[2] / rates[1] == pytest.approx(2.0, rel=0.25)
+
+    def test_alpha_one_is_proportional(self):
+        counts = allocate_samples([100, 100], budget=50, alpha=1.0)
+        assert abs(counts[0] - counts[1]) <= 1
+
+    def test_large_alpha_floods_top_group(self):
+        counts = allocate_samples([100, 10], budget=12, alpha=100.0)
+        assert counts[1] == 10  # most important group fully sampled
+
+    def test_rate_ratio_tracks_alpha(self):
+        counts = allocate_samples([100, 10], budget=12, alpha=16.0)
+        rate0, rate1 = counts[0] / 100, counts[1] / 10
+        assert rate1 / rate0 == pytest.approx(16.0, rel=0.5)
+
+    def test_nonempty_groups_get_at_least_one_when_possible(self):
+        counts = allocate_samples([50, 50, 50], budget=5, alpha=4.0)
+        assert all(c >= 1 for c in counts)
+
+    def test_single_group(self):
+        assert allocate_samples([40], budget=7, alpha=2.0) == [7]
+
+
+class TestValidation:
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(ConfigError):
+            allocate_samples([1], 1, alpha=0.5)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            allocate_samples([1], -1, alpha=2.0)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ConfigError):
+            allocate_samples([-1, 2], 1, alpha=2.0)

@@ -1,0 +1,101 @@
+"""Unit tests for sample-via-clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_sampler import cluster_sample, random_sample
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def redundant_features():
+    """12 partitions in 3 identical groups of 4 (plus tiny jitter)."""
+    rng = np.random.default_rng(0)
+    base = np.repeat(np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]]), 4, axis=0)
+    return base + rng.normal(0, 1e-3, base.shape)
+
+
+class TestClusterSample:
+    def test_weights_sum_to_candidate_count(self, redundant_features):
+        candidates = np.arange(12)
+        selection = cluster_sample(redundant_features, candidates, budget=3)
+        assert sum(c.weight for c in selection) == 12.0
+        assert len(selection) == 3
+
+    def test_redundant_groups_collapse(self, redundant_features):
+        selection = cluster_sample(redundant_features, np.arange(12), budget=3)
+        # One exemplar per redundant group of four.
+        assert sorted(c.weight for c in selection) == [4.0, 4.0, 4.0]
+        picked_groups = {c.partition // 4 for c in selection}
+        assert picked_groups == {0, 1, 2}
+
+    def test_budget_at_least_candidates_returns_all(self, redundant_features):
+        selection = cluster_sample(redundant_features, np.arange(12), budget=20)
+        assert len(selection) == 12
+        assert all(c.weight == 1.0 for c in selection)
+
+    def test_zero_budget(self, redundant_features):
+        assert cluster_sample(redundant_features, np.arange(12), 0) == []
+
+    def test_candidate_subset_respected(self, redundant_features):
+        candidates = np.array([0, 1, 4, 5])
+        selection = cluster_sample(redundant_features, candidates, budget=2)
+        assert {c.partition for c in selection} <= set(candidates.tolist())
+        assert sum(c.weight for c in selection) == 4.0
+
+    @pytest.mark.parametrize(
+        "algorithm", ["kmeans", "hac-ward", "hac-single", "hac-average"]
+    )
+    def test_all_algorithms_work(self, redundant_features, algorithm):
+        selection = cluster_sample(
+            redundant_features, np.arange(12), budget=3, algorithm=algorithm
+        )
+        assert sum(c.weight for c in selection) == 12.0
+
+    def test_unknown_algorithm_rejected(self, redundant_features):
+        with pytest.raises(ConfigError):
+            cluster_sample(redundant_features, np.arange(12), 3, algorithm="dbscan")
+
+    def test_median_exemplar_deterministic(self, redundant_features):
+        a = cluster_sample(redundant_features, np.arange(12), 3, seed=5)
+        b = cluster_sample(redundant_features, np.arange(12), 3, seed=5)
+        assert [(c.partition, c.weight) for c in a] == [
+            (c.partition, c.weight) for c in b
+        ]
+
+    def test_random_exemplar_unbiased_membership(self, redundant_features):
+        rng = np.random.default_rng(0)
+        seen = set()
+        for __ in range(20):
+            selection = cluster_sample(
+                redundant_features,
+                np.arange(12),
+                3,
+                exemplar="random",
+                rng=rng,
+            )
+            seen |= {c.partition for c in selection}
+        # Random exemplars eventually visit more partitions than the 3
+        # deterministic medians.
+        assert len(seen) > 3
+
+    def test_bad_exemplar_rejected(self, redundant_features):
+        with pytest.raises(ConfigError):
+            cluster_sample(redundant_features, np.arange(12), 3, exemplar="first")
+
+
+class TestRandomSample:
+    def test_weights_scale(self):
+        rng = np.random.default_rng(1)
+        selection = random_sample(np.arange(10), 5, rng)
+        assert len(selection) == 5
+        assert all(c.weight == 2.0 for c in selection)
+
+    def test_without_replacement(self):
+        rng = np.random.default_rng(2)
+        selection = random_sample(np.arange(10), 10, rng)
+        assert len({c.partition for c in selection}) == 10
+
+    def test_empty_candidates(self):
+        rng = np.random.default_rng(3)
+        assert random_sample(np.empty(0, dtype=np.intp), 3, rng) == []

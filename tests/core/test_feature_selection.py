@@ -1,0 +1,56 @@
+"""Unit tests for Algorithm 3 feature selection."""
+
+import pytest
+
+from repro.core.feature_selection import (
+    ClusteringErrorEvaluator,
+    greedy_feature_selection,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def evaluator(trained_ps3):
+    return ClusteringErrorEvaluator(
+        trained_ps3.feature_builder.schema,
+        trained_ps3.training_data,
+        budget_fractions=(0.25,),
+        max_queries=5,
+        seed=0,
+    )
+
+
+class TestEvaluator:
+    def test_error_is_finite_for_empty_exclusion(self, evaluator):
+        error = evaluator.error(frozenset())
+        assert 0.0 <= error < float("inf")
+
+    def test_excluding_everything_is_infinite(self, evaluator, trained_ps3):
+        families = frozenset(trained_ps3.feature_builder.schema.families())
+        assert evaluator.error(families) == float("inf")
+
+    def test_cache_hits_are_consistent(self, evaluator):
+        excluded = frozenset({"min(x)"})
+        assert evaluator.error(excluded) == evaluator.error(excluded)
+
+    def test_requires_trained_data(self, trained_ps3):
+        from repro.core.training import TrainingData
+
+        empty = TrainingData([], [], [], [], [])
+        with pytest.raises(ConfigError):
+            ClusteringErrorEvaluator(trained_ps3.feature_builder.schema, empty)
+
+
+class TestGreedySearch:
+    def test_never_excludes_selectivity_upper(self, evaluator, trained_ps3):
+        excluded = greedy_feature_selection(
+            trained_ps3.feature_builder.schema, evaluator, rounds=1, seed=0
+        )
+        assert "selectivity_upper" not in excluded
+
+    def test_result_never_worse_than_baseline(self, evaluator, trained_ps3):
+        baseline = evaluator.error(frozenset())
+        excluded = greedy_feature_selection(
+            trained_ps3.feature_builder.schema, evaluator, rounds=1, seed=1
+        )
+        assert evaluator.error(excluded) <= baseline

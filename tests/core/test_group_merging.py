@@ -1,0 +1,75 @@
+"""Unit tests for zero-budget importance-group merging in the picker."""
+
+import numpy as np
+import pytest
+
+from repro.core.picker import _merge_unsampled_groups
+
+
+def groups_of(*lists):
+    return [np.asarray(values, dtype=np.intp) for values in lists]
+
+
+class TestMergeUnsampledGroups:
+    def test_zero_budget_group_folds_into_more_important(self):
+        groups = groups_of([0, 1], [2, 3], [4])
+        merged, budgets = _merge_unsampled_groups(groups, [0, 2, 1])
+        assert merged[0].size == 0
+        assert sorted(merged[1].tolist()) == [0, 1, 2, 3]
+        assert merged[2].tolist() == [4]
+        assert budgets == [0, 2, 1]
+
+    def test_most_important_unsampled_falls_back_to_less_important(self):
+        groups = groups_of([0, 1], [2])
+        merged, __ = _merge_unsampled_groups(groups, [1, 0])
+        assert sorted(merged[0].tolist()) == [0, 1, 2]
+        assert merged[1].size == 0
+
+    def test_all_mass_preserved(self):
+        rng = np.random.default_rng(0)
+        groups = groups_of([0, 1, 2], [3], [4, 5], [6])
+        budgets = [0, 1, 0, 2]
+        merged, __ = _merge_unsampled_groups(groups, budgets)
+        combined = np.concatenate([g for g in merged if g.size])
+        assert sorted(combined.tolist()) == list(range(7))
+
+    def test_no_budget_anywhere_is_noop(self):
+        groups = groups_of([0, 1], [2])
+        merged, budgets = _merge_unsampled_groups(groups, [0, 0])
+        assert [g.tolist() for g in merged] == [[0, 1], [2]]
+        assert budgets == [0, 0]
+
+    def test_empty_groups_ignored(self):
+        groups = groups_of([], [0, 1], [])
+        merged, __ = _merge_unsampled_groups(groups, [0, 2, 0])
+        assert merged[0].size == 0
+        assert merged[1].tolist() == [0, 1]
+        assert merged[2].size == 0
+
+    def test_inputs_not_mutated(self):
+        groups = groups_of([0, 1], [2])
+        budgets = [0, 1]
+        _merge_unsampled_groups(groups, budgets)
+        assert groups[0].tolist() == [0, 1]
+        assert budgets == [0, 1]
+
+
+class TestPickerCoverageAtTinyBudgets:
+    """End-to-end: weight mass covers passing partitions at any budget."""
+
+    @pytest.mark.parametrize("budget", [1, 2, 3])
+    def test_tiny_budgets_cover_passing(self, trained_ps3, budget):
+        from repro.engine.predicates import Comparison
+        from repro.engine.query import Query
+        from repro.engine.aggregates import count_star
+
+        query = Query(
+            [count_star()],
+            Comparison("l_quantity", ">", 5.0),
+            ("l_returnflag",),
+        )
+        features = trained_ps3.feature_builder.features_for_query(query)
+        passing = features.passing_partitions().size
+        result = trained_ps3.picker.select(query, budget)
+        total = sum(c.weight for c in result.selection)
+        assert total == pytest.approx(float(passing))

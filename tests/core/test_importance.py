@@ -1,0 +1,54 @@
+"""Unit tests for the importance-group funnel (Algorithm 2)."""
+
+import numpy as np
+
+from repro.core.importance import importance_groups
+from repro.ml.gbrt import GBRTRegressor
+
+
+def make_regressor(boundary: float) -> GBRTRegressor:
+    """A regressor scoring positive iff feature 0 exceeds ``boundary``."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 1, (600, 2))
+    y = np.where(X[:, 0] > boundary, 1.0, -1.0)
+    return GBRTRegressor(n_trees=20, max_depth=2, seed=1).fit(X, y)
+
+
+class TestFunnel:
+    def test_groups_partition_candidates(self):
+        matrix = np.column_stack([np.linspace(0, 1, 20), np.zeros(20)])
+        regressors = [make_regressor(0.3), make_regressor(0.7)]
+        groups = importance_groups(matrix, np.arange(20), regressors)
+        assert len(groups) == 3
+        combined = np.concatenate(groups)
+        assert sorted(combined.tolist()) == list(range(20))
+
+    def test_funnel_ordering(self):
+        matrix = np.column_stack([np.linspace(0, 1, 20), np.zeros(20)])
+        regressors = [make_regressor(0.3), make_regressor(0.7)]
+        groups = importance_groups(matrix, np.arange(20), regressors)
+        # The most important group holds the highest-feature partitions.
+        if groups[2].size:
+            assert matrix[groups[2], 0].min() >= matrix[groups[0], 0].max()
+
+    def test_each_stage_filters_previous_survivors(self):
+        """A partition must pass every earlier model to reach group k."""
+        matrix = np.column_stack([np.linspace(0, 1, 40), np.zeros(40)])
+        regressors = [make_regressor(0.5), make_regressor(0.2)]
+        groups = importance_groups(matrix, np.arange(40), regressors)
+        # Stage 2's looser threshold cannot resurrect stage-1 rejects.
+        if groups[0].size and groups[2].size:
+            assert matrix[groups[0], 0].max() <= 0.6
+
+    def test_empty_candidates(self):
+        matrix = np.zeros((5, 2))
+        groups = importance_groups(
+            matrix, np.empty(0, dtype=np.intp), [make_regressor(0.5)]
+        )
+        assert all(g.size == 0 for g in groups)
+
+    def test_no_regressors_single_group(self):
+        matrix = np.zeros((5, 2))
+        groups = importance_groups(matrix, np.arange(5), [])
+        assert len(groups) == 1
+        np.testing.assert_array_equal(groups[0], np.arange(5))

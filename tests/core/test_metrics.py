@@ -1,0 +1,96 @@
+"""Unit tests for the three error metrics (paper section 5.1.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import ErrorReport, evaluate_errors, mean_report
+
+
+def answer(**groups):
+    return {(k,): np.asarray(v, dtype=float) for k, v in groups.items()}
+
+
+class TestMissedGroups:
+    def test_no_misses(self):
+        truth = answer(a=[1.0], b=[2.0])
+        report = evaluate_errors(truth, truth)
+        assert report.missed_groups == 0.0
+        assert report.avg_relative_error == 0.0
+        assert report.abs_over_true == 0.0
+
+    def test_half_missed(self):
+        truth = answer(a=[1.0], b=[2.0])
+        report = evaluate_errors(truth, answer(a=[1.0]))
+        assert report.missed_groups == 0.5
+
+    def test_spurious_groups_ignored(self):
+        truth = answer(a=[1.0])
+        estimate = answer(a=[1.0], ghost=[99.0])
+        report = evaluate_errors(truth, estimate)
+        assert report.missed_groups == 0.0
+        assert report.avg_relative_error == 0.0
+
+
+class TestRelativeError:
+    def test_simple_ratio(self):
+        truth = answer(a=[10.0])
+        report = evaluate_errors(truth, answer(a=[12.0]))
+        assert report.avg_relative_error == pytest.approx(0.2)
+
+    def test_missed_group_counts_as_one(self):
+        truth = answer(a=[10.0], b=[10.0])
+        report = evaluate_errors(truth, answer(a=[10.0]))
+        assert report.avg_relative_error == pytest.approx(0.5)
+
+    def test_zero_truth_zero_estimate_is_exact(self):
+        truth = answer(a=[0.0])
+        assert evaluate_errors(truth, answer(a=[0.0])).avg_relative_error == 0.0
+
+    def test_zero_truth_nonzero_estimate_counts_one(self):
+        truth = answer(a=[0.0])
+        assert evaluate_errors(truth, answer(a=[5.0])).avg_relative_error == 1.0
+
+    def test_multiple_aggregates_averaged(self):
+        truth = {("a",): np.array([10.0, 100.0])}
+        estimate = {("a",): np.array([11.0, 100.0])}
+        report = evaluate_errors(truth, estimate)
+        assert report.avg_relative_error == pytest.approx(0.05)
+
+
+class TestAbsOverTrue:
+    def test_scale_normalized(self):
+        truth = answer(a=[100.0], b=[300.0])
+        estimate = answer(a=[110.0], b=[310.0])
+        report = evaluate_errors(truth, estimate)
+        # mean abs err 10 over mean true 200.
+        assert report.abs_over_true == pytest.approx(0.05)
+
+    def test_missed_groups_contribute_full_value(self):
+        truth = answer(a=[100.0], b=[100.0])
+        estimate = answer(a=[100.0])
+        report = evaluate_errors(truth, estimate)
+        assert report.abs_over_true == pytest.approx(0.5)
+
+
+class TestEdgesAndAggregation:
+    def test_empty_truth(self):
+        report = evaluate_errors({}, {})
+        assert report == ErrorReport(0.0, 0.0, 0.0)
+
+    def test_mean_report(self):
+        reports = [ErrorReport(0.0, 0.2, 0.1), ErrorReport(1.0, 0.4, 0.3)]
+        mean = mean_report(reports)
+        assert mean.missed_groups == 0.5
+        assert mean.avg_relative_error == pytest.approx(0.3)
+        assert mean.abs_over_true == pytest.approx(0.2)
+
+    def test_mean_of_nothing(self):
+        assert mean_report([]) == ErrorReport(0.0, 0.0, 0.0)
+
+    def test_as_dict(self):
+        report = ErrorReport(0.1, 0.2, 0.3)
+        assert report.as_dict() == {
+            "missed_groups": 0.1,
+            "avg_relative_error": 0.2,
+            "abs_over_true": 0.3,
+        }

@@ -1,0 +1,78 @@
+"""Unit tests for rare-bitmap outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import OutlierConfig, find_outliers
+from repro.sketches.builder import build_dataset_statistics
+from repro.engine.layout import partition_evenly
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+
+
+@pytest.fixture(scope="module")
+def skewed_dataset():
+    """24 partitions: 22 dominated by 'common', 2 dominated by 'rare'."""
+    schema = Schema.of(
+        Column("g", ColumnKind.CATEGORICAL, low_cardinality=True),
+        Column("v", ColumnKind.NUMERIC),
+    )
+    rows_per_partition = 100
+    values, groups = [], []
+    for p in range(24):
+        if p in (5, 17):
+            groups += ["rare"] * rows_per_partition
+        else:
+            groups += ["common"] * rows_per_partition
+        values += list(np.arange(rows_per_partition, dtype=float))
+    table = Table(schema, {"g": np.array(groups), "v": np.array(values)})
+    ptable = partition_evenly(table, 24)
+    return ptable, build_dataset_statistics(ptable)
+
+
+class TestDetection:
+    def test_rare_partitions_found(self, skewed_dataset):
+        __, stats = skewed_dataset
+        candidates = np.arange(24)
+        outliers = find_outliers(stats, ("g",), candidates)
+        assert set(outliers.tolist()) == {5, 17}
+
+    def test_rarest_signatures_first(self, skewed_dataset):
+        __, stats = skewed_dataset
+        outliers = find_outliers(stats, ("g",), np.arange(24))
+        assert outliers.size == 2  # both from the same rare signature
+
+    def test_candidates_restrict_search(self, skewed_dataset):
+        __, stats = skewed_dataset
+        outliers = find_outliers(stats, ("g",), np.arange(5))  # excludes 5, 17
+        assert outliers.size == 0
+
+    def test_no_group_by_no_outliers(self, skewed_dataset):
+        __, stats = skewed_dataset
+        assert find_outliers(stats, (), np.arange(24)).size == 0
+
+    def test_empty_candidates(self, skewed_dataset):
+        __, stats = skewed_dataset
+        assert find_outliers(stats, ("g",), np.empty(0, dtype=np.intp)).size == 0
+
+
+class TestThresholds:
+    def test_relative_threshold(self, skewed_dataset):
+        """Paper example: many small equal groups -> none are outlying."""
+        __, stats = skewed_dataset
+        # With max_relative_size tiny, even the 2-partition group fails
+        # the relative test (2 >= 0.01 * 22).
+        config = OutlierConfig(max_absolute_size=10, max_relative_size=0.01)
+        outliers = find_outliers(stats, ("g",), np.arange(24), config)
+        assert outliers.size == 0
+
+    def test_absolute_threshold(self, skewed_dataset):
+        __, stats = skewed_dataset
+        config = OutlierConfig(max_absolute_size=2, max_relative_size=0.5)
+        outliers = find_outliers(stats, ("g",), np.arange(24), config)
+        assert outliers.size == 0  # group of size 2 is not < 2
+
+    def test_column_without_heavy_hitters_skipped(self, skewed_dataset):
+        __, stats = skewed_dataset
+        stats.global_heavy_hitters["v"] = ()
+        assert find_outliers(stats, ("v",), np.arange(24)).size == 0

@@ -1,0 +1,127 @@
+"""Unit tests for the full PS3 picker (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.picker import PickerConfig, PS3Picker
+from repro.engine.aggregates import count_star, sum_of
+from repro.engine.expressions import col
+from repro.engine.predicates import And, Comparison, Or
+from repro.engine.query import Query
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def picker(trained_ps3):
+    return PS3Picker(trained_ps3.model, trained_ps3.statistics, PickerConfig(seed=5))
+
+
+@pytest.fixture(scope="module")
+def grouped_query():
+    return Query(
+        [sum_of(col("l_extendedprice")), count_star()],
+        Comparison("l_quantity", ">", 10.0),
+        ("l_returnflag",),
+    )
+
+
+class TestBudgetHandling:
+    def test_selection_size_matches_budget(self, picker, grouped_query):
+        result = picker.select(grouped_query, budget=5)
+        assert len(result.selection) == 5
+
+    def test_budget_above_passing_returns_exact(self, picker, grouped_query, tpch_ptable):
+        result = picker.select(grouped_query, budget=tpch_ptable.num_partitions)
+        assert all(c.weight == 1.0 for c in result.selection)
+
+    def test_zero_budget(self, picker, grouped_query):
+        assert picker.select(grouped_query, 0).selection == []
+
+    def test_negative_budget_rejected(self, picker, grouped_query):
+        with pytest.raises(ConfigError):
+            picker.select(grouped_query, -1)
+
+    def test_impossible_predicate_selects_nothing(self, picker):
+        query = Query([count_star()], Comparison("l_quantity", ">", 1e9))
+        result = picker.select(query, budget=4)
+        assert result.selection == []
+
+
+class TestWeights:
+    def test_weights_cover_passing_partitions(self, picker, grouped_query, tpch_ptable):
+        result = picker.select(grouped_query, budget=6)
+        total_weight = sum(c.weight for c in result.selection)
+        # Outliers (weight 1) + cluster weights (= group sizes) must cover
+        # every passing partition exactly once.
+        assert total_weight == pytest.approx(tpch_ptable.num_partitions, abs=1e-9)
+
+    def test_outliers_have_unit_weight(self, picker, grouped_query):
+        result = picker.select(grouped_query, budget=6)
+        outlier_set = set(result.outliers)
+        for choice in result.selection:
+            if choice.partition in outlier_set:
+                assert choice.weight == 1.0
+
+    def test_no_duplicate_partitions(self, picker, grouped_query):
+        result = picker.select(grouped_query, budget=8)
+        partitions = result.partitions
+        assert len(partitions) == len(set(partitions))
+
+
+class TestComponentToggles:
+    def test_clustering_fallback_for_complex_predicates(self, trained_ps3):
+        clauses = [
+            Comparison("l_quantity", ">", float(i)) for i in range(6)
+        ] + [Comparison("p_size", "<", float(50 - i)) for i in range(6)]
+        query = Query([count_star()], Or([And(clauses[:6]), And(clauses[6:])]))
+        picker = PS3Picker(trained_ps3.model, trained_ps3.statistics)
+        result = picker.select(query, budget=4)
+        assert not result.used_clustering  # 12 clauses > 10
+
+    def test_lesion_no_outliers(self, trained_ps3, grouped_query):
+        picker = PS3Picker(
+            trained_ps3.model,
+            trained_ps3.statistics,
+            PickerConfig(use_outliers=False),
+        )
+        result = picker.select(grouped_query, budget=5)
+        assert result.outliers == []
+
+    def test_lesion_no_regressors_single_group(self, trained_ps3, grouped_query):
+        picker = PS3Picker(
+            trained_ps3.model,
+            trained_ps3.statistics,
+            PickerConfig(use_regressors=False),
+        )
+        result = picker.select(grouped_query, budget=5)
+        assert len(result.group_sizes) == 1
+
+    def test_lesion_no_clustering_uses_random(self, trained_ps3, grouped_query, tpch_ptable):
+        picker = PS3Picker(
+            trained_ps3.model,
+            trained_ps3.statistics,
+            PickerConfig(use_clustering=False, use_outliers=False),
+        )
+        result = picker.select(grouped_query, budget=5)
+        assert not result.used_clustering
+        total_weight = sum(c.weight for c in result.selection)
+        assert total_weight == pytest.approx(tpch_ptable.num_partitions, rel=0.01)
+
+
+class TestDiagnostics:
+    def test_group_budget_sums(self, picker, grouped_query):
+        result = picker.select(grouped_query, budget=8)
+        assert sum(result.group_budgets) == 8 - len(result.outliers)
+
+    def test_timing_recorded(self, picker, grouped_query):
+        result = picker.select(grouped_query, budget=5)
+        assert result.total_seconds > 0.0
+        assert 0.0 <= result.clustering_seconds <= result.total_seconds
+
+    def test_outlier_budget_capped_at_fraction(self, picker, grouped_query):
+        result = picker.select(grouped_query, budget=10)
+        assert len(result.outliers) <= int(np.ceil(0.1 * 10))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            PickerConfig(outlier_budget_fraction=1.5)

@@ -1,0 +1,133 @@
+"""Unit tests for the Appendix D variance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.variance import (
+    confidence_interval,
+    ht_estimate,
+    ht_true_variance,
+    ht_variance_estimate,
+    partition_vs_row_variance,
+    stratified_unbiased_variance,
+)
+from repro.errors import ConfigError
+
+
+class TestHorvitzThompson:
+    def test_estimate_unbiased_empirically(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(1.0, 500)
+        p = 0.2
+        estimates = []
+        for __ in range(400):
+            sampled = values[rng.random(500) < p]
+            estimates.append(ht_estimate(sampled, p))
+        assert np.mean(estimates) == pytest.approx(values.sum(), rel=0.05)
+
+    def test_variance_estimator_tracks_truth(self):
+        rng = np.random.default_rng(1)
+        values = rng.exponential(1.0, 2000)
+        p = 0.3
+        truth = ht_true_variance(values, p)
+        sampled = values[rng.random(2000) < p]
+        assert ht_variance_estimate(sampled, p) == pytest.approx(truth, rel=0.2)
+
+    def test_full_sample_zero_variance(self):
+        values = np.arange(5.0)
+        assert ht_true_variance(values, 1.0) == 0.0
+        assert ht_variance_estimate(values, 1.0) == 0.0
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigError):
+            ht_estimate(np.ones(2), 0.0)
+        with pytest.raises(ConfigError):
+            ht_true_variance(np.ones(2), 1.2)
+
+
+class TestPartitionVsRow:
+    def test_eq5_partition_variance_dominates(self):
+        """Correlated same-partition rows inflate partition sampling."""
+        rng = np.random.default_rng(2)
+        partition_ids = np.repeat(np.arange(20), 50)
+        # Rows within a partition share sign/magnitude (correlation).
+        per_partition_level = rng.exponential(1.0, 20)
+        row_values = per_partition_level[partition_ids] * rng.uniform(
+            0.8, 1.2, 1000
+        )
+        row_var, part_var, cross = partition_vs_row_variance(
+            row_values, partition_ids, p=0.1
+        )
+        assert part_var > row_var
+        assert cross == pytest.approx(part_var - row_var)
+
+    def test_decomposition_identity(self):
+        """Eq 5: partition variance = row variance + same-partition cross."""
+        rng = np.random.default_rng(3)
+        partition_ids = np.repeat(np.arange(10), 10)
+        row_values = rng.normal(size=100)
+        row_var, part_var, cross = partition_vs_row_variance(
+            row_values, partition_ids, p=0.5
+        )
+        factor = 1 / 0.5 - 1
+        manual_cross = 0.0
+        for pid in range(10):
+            vals = row_values[partition_ids == pid]
+            manual_cross += 2 * factor * sum(
+                vals[i] * vals[j]
+                for i in range(len(vals))
+                for j in range(i + 1, len(vals))
+            )
+        assert cross == pytest.approx(manual_cross, rel=1e-9)
+
+    def test_one_row_partitions_equalize(self):
+        """When partitions hold one row each, the two variances coincide."""
+        values = np.arange(1.0, 11.0)
+        row_var, part_var, cross = partition_vs_row_variance(
+            values, np.arange(10), p=0.2
+        )
+        assert part_var == pytest.approx(row_var)
+        assert cross == pytest.approx(0.0, abs=1e-9)
+
+
+class TestStratified:
+    def test_homogeneous_strata_zero_variance(self):
+        strata = [np.full(4, 3.0), np.full(3, 7.0)]
+        assert stratified_unbiased_variance(strata) == 0.0
+
+    def test_matches_empirical_variance(self):
+        rng = np.random.default_rng(4)
+        strata = [rng.normal(10, 2, 6), rng.normal(50, 5, 4)]
+        analytic = stratified_unbiased_variance(strata)
+        totals = []
+        for __ in range(4000):
+            total = sum(
+                len(s) * s[rng.integers(len(s))] for s in strata
+            )
+            totals.append(total)
+        assert np.var(totals) == pytest.approx(analytic, rel=0.1)
+
+    def test_singleton_stratum_contributes_nothing(self):
+        assert stratified_unbiased_variance([np.array([42.0])]) == 0.0
+
+
+class TestConfidenceInterval:
+    def test_95_percent_width(self):
+        low, high = confidence_interval(10.0, variance=4.0)
+        assert low == pytest.approx(10.0 - 1.96 * 2.0)
+        assert high == pytest.approx(10.0 + 1.96 * 2.0)
+
+    def test_coverage_empirical(self):
+        rng = np.random.default_rng(5)
+        hits = 0
+        for __ in range(1000):
+            sample = rng.normal(0.0, 1.0)
+            low, high = confidence_interval(sample, variance=1.0)
+            hits += low <= 0.0 <= high
+        assert hits / 1000 == pytest.approx(0.95, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            confidence_interval(0.0, -1.0)
+        with pytest.raises(ConfigError):
+            confidence_interval(0.0, 1.0, level=0.5)

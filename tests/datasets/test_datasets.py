@@ -1,0 +1,106 @@
+"""Unit tests for the four synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS, get_dataset
+from repro.errors import ConfigError
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+class TestAllDatasets:
+    def test_generate_matches_schema(self, name):
+        spec = get_dataset(name)
+        table = spec.generate(2000, 0)
+        assert table.num_rows == 2000
+        assert set(table.columns) == set(table.schema.names)
+
+    def test_deterministic_per_seed(self, name):
+        spec = get_dataset(name)
+        a = spec.generate(500, 42)
+        b = spec.generate(500, 42)
+        for column in a.schema.names:
+            np.testing.assert_array_equal(a.columns[column], b.columns[column])
+
+    def test_default_layout_sorted(self, name):
+        spec = get_dataset(name)
+        ptable = spec.build(1000, 8)
+        sort_spec = spec.layouts[spec.default_layout]
+        primary = sort_spec if isinstance(sort_spec, str) else sort_spec[0]
+        values = ptable.table.columns[primary]
+        if values.dtype.kind in ("f", "i"):
+            assert np.all(np.diff(values) >= 0)
+        else:
+            assert np.all(values[:-1] <= values[1:])
+
+    def test_workload_validates(self, name):
+        spec = get_dataset(name)
+        table = spec.generate(500, 1)
+        spec.workload().validate_against(table.schema)
+
+    def test_all_layouts_build(self, name):
+        spec = get_dataset(name)
+        for layout in spec.layout_names():
+            ptable = spec.build(400, 4, layout=layout, seed=2)
+            assert ptable.num_partitions == 4
+
+
+class TestRegistry:
+    def test_four_paper_datasets(self):
+        assert set(DATASETS) == {"tpch", "tpcds", "aria", "kdd"}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            get_dataset("mystery")
+
+    def test_unknown_layout(self):
+        with pytest.raises(ConfigError):
+            get_dataset("tpch").build(100, 2, layout="bogus")
+
+
+class TestDatasetSkew:
+    def test_aria_top_version_is_half(self):
+        table = get_dataset("aria").generate(20_000, 0)
+        versions, counts = np.unique(
+            table.columns["AppInfo_Version"], return_counts=True
+        )
+        assert counts.max() / counts.sum() == pytest.approx(0.48, abs=0.05)
+        assert len(versions) > 100  # of the 167 configured
+
+    def test_aria_versions_cluster_by_tenant(self):
+        """The tenant-sorted layout must vary in version mix (Figure 6)."""
+        spec = get_dataset("aria")
+        ptable = spec.build(8000, 16, layout="TenantId", seed=0)
+        tops = []
+        for partition in ptable:
+            values, counts = np.unique(
+                partition.column("AppInfo_Version"), return_counts=True
+            )
+            tops.append(counts.max() / counts.sum())
+        assert np.std(tops) > 0.02
+
+    def test_tpch_revenue_is_quantity_times_price(self):
+        table = get_dataset("tpch").generate(1000, 0)
+        ratio = table.columns["l_extendedprice"] / table.columns["l_quantity"]
+        assert ratio.min() >= 900.0 and ratio.max() <= 2100.0
+
+    def test_tpcds_net_profit_signed(self):
+        table = get_dataset("tpcds").generate(5000, 0)
+        profit = table.columns["cs_net_profit"]
+        assert (profit < 0).any() and (profit > 0).any()
+
+    def test_kdd_attacks_cluster_in_blocks(self):
+        table = get_dataset("kdd").generate(4096, 0)
+        labels = table.columns["label"]
+        # Block generation: long runs of identical labels.
+        changes = (labels[1:] != labels[:-1]).sum()
+        assert changes < len(labels) / 64
+
+    def test_kdd_attack_rows_have_high_count(self):
+        table = get_dataset("kdd").generate(5000, 0)
+        attack = table.columns["label"] != "normal"
+        if attack.any() and (~attack).any():
+            assert (
+                table.columns["count"][attack].mean()
+                > table.columns["count"][~attack].mean()
+            )

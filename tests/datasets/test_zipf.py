@@ -1,0 +1,61 @@
+"""Unit tests for skewed sampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.zipf import (
+    head_probabilities,
+    vocab,
+    zipf_choice,
+    zipf_probabilities,
+)
+from repro.errors import ConfigError
+
+
+class TestProbabilities:
+    def test_zipf_normalized_and_decreasing(self):
+        probs = zipf_probabilities(100, s=1.0)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(probs) < 0)
+
+    def test_zipf_s_zero_is_uniform(self):
+        probs = zipf_probabilities(10, s=0.0)
+        np.testing.assert_allclose(probs, 0.1)
+
+    def test_head_mass_pinned(self):
+        probs = head_probabilities(167, top_mass=0.48)
+        assert probs[0] == pytest.approx(0.48)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_head_single_value(self):
+        np.testing.assert_allclose(head_probabilities(1, 0.5), [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            zipf_probabilities(0)
+        with pytest.raises(ConfigError):
+            head_probabilities(5, top_mass=1.0)
+
+
+class TestSampling:
+    def test_zipf_choice_skews_to_head(self):
+        rng = np.random.default_rng(0)
+        values = vocab("v", 50)
+        sample = zipf_choice(rng, values, 20_000, s=1.0)
+        counts = {v: int((sample == v).sum()) for v in values[:2]}
+        assert counts["v#01"] > counts["v#02"]
+
+    def test_top_mass_shows_in_sample(self):
+        rng = np.random.default_rng(1)
+        values = vocab("v", 167)
+        sample = zipf_choice(rng, values, 30_000, top_mass=0.48)
+        share = (sample == values[0]).mean()
+        assert share == pytest.approx(0.48, abs=0.02)
+
+
+class TestVocab:
+    def test_deterministic_and_padded(self):
+        values = vocab("brand", 25)
+        assert values[0] == "brand#01"
+        assert values[-1] == "brand#25"
+        assert len(set(values)) == 25

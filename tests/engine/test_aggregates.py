@@ -1,0 +1,61 @@
+"""Unit tests for aggregates and their linear decomposition."""
+
+import pytest
+
+from repro.engine.aggregates import (
+    AggFunc,
+    Aggregate,
+    ComponentKind,
+    avg_of,
+    count_star,
+    sum_of,
+)
+from repro.engine.expressions import col
+from repro.errors import QueryScopeError
+
+
+class TestConstruction:
+    def test_count_star_takes_no_expression(self):
+        with pytest.raises(QueryScopeError):
+            Aggregate(AggFunc.COUNT, col("x"))
+
+    def test_sum_requires_expression(self):
+        with pytest.raises(QueryScopeError):
+            Aggregate(AggFunc.SUM, None)
+
+    def test_labels(self):
+        assert count_star().label() == "COUNT(*)"
+        assert sum_of(col("x")).label() == "SUM(x)"
+        assert avg_of(col("x") + col("y")).label() == "AVG((x + y))"
+
+
+class TestComponents:
+    def test_sum_decomposes_to_itself(self):
+        comps = sum_of(col("x")).components()
+        assert len(comps) == 1
+        assert comps[0].kind is ComponentKind.SUM
+
+    def test_count_decomposes_to_count(self):
+        comps = count_star().components()
+        assert len(comps) == 1
+        assert comps[0].kind is ComponentKind.COUNT
+        assert comps[0].label() == "COUNT(*)"
+
+    def test_avg_decomposes_to_sum_and_count(self):
+        comps = avg_of(col("x")).components()
+        assert [c.kind for c in comps] == [ComponentKind.SUM, ComponentKind.COUNT]
+
+
+class TestFinalize:
+    def test_sum_passthrough(self):
+        assert sum_of(col("x")).finalize([42.0]) == 42.0
+
+    def test_avg_is_ratio(self):
+        assert avg_of(col("x")).finalize([10.0, 4.0]) == 2.5
+
+    def test_avg_zero_count_is_zero(self):
+        assert avg_of(col("x")).finalize([10.0, 0.0]) == 0.0
+
+    def test_columns(self):
+        assert sum_of(col("x") * col("y")).columns() == {"x", "y"}
+        assert count_star().columns() == frozenset()

@@ -1,0 +1,70 @@
+"""Unit tests for arithmetic expressions."""
+
+import numpy as np
+import pytest
+
+from repro.engine.expressions import BinOp, ColumnRef, Const, col
+from repro.errors import ExecutionError, QueryScopeError
+
+
+@pytest.fixture
+def columns():
+    return {
+        "a": np.array([1.0, 2.0, 3.0]),
+        "b": np.array([10.0, 20.0, 30.0]),
+    }
+
+
+class TestEvaluation:
+    def test_column_ref(self, columns):
+        np.testing.assert_array_equal(col("a").evaluate(columns), [1.0, 2.0, 3.0])
+
+    def test_addition_and_subtraction(self, columns):
+        expr = col("a") + col("b") - Const(1.0)
+        np.testing.assert_allclose(expr.evaluate(columns), [10.0, 21.0, 32.0])
+
+    def test_multiplication(self, columns):
+        expr = col("a") * col("b")
+        np.testing.assert_allclose(expr.evaluate(columns), [10.0, 40.0, 90.0])
+
+    def test_division(self, columns):
+        expr = col("b") / col("a")
+        np.testing.assert_allclose(expr.evaluate(columns), [10.0, 10.0, 10.0])
+
+    def test_scalar_sugar(self, columns):
+        expr = col("a") * 2 + 1
+        np.testing.assert_allclose(expr.evaluate(columns), [3.0, 5.0, 7.0])
+
+    def test_division_by_zero_raises(self, columns):
+        columns["a"][0] = 0.0
+        with pytest.raises(ExecutionError, match="non-finite"):
+            (col("b") / col("a")).evaluate(columns)
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExecutionError, match="missing"):
+            col("nope").evaluate({"a": np.array([1.0])})
+
+
+class TestStructure:
+    def test_columns_collected_recursively(self):
+        expr = (col("a") + col("b")) * col("c")
+        assert expr.columns() == {"a", "b", "c"}
+
+    def test_const_has_no_columns(self):
+        assert Const(3.0).columns() == frozenset()
+
+    def test_label_is_deterministic(self):
+        expr = col("a") * (Const(1.0) - col("b"))
+        assert expr.label() == "(a * (1.0 - b))"
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(QueryScopeError):
+            BinOp("%", col("a"), col("b"))
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(QueryScopeError):
+            col("a") + "nope"  # type: ignore[operator]
+
+    def test_expressions_hashable_and_equal(self):
+        assert col("a") + col("b") == col("a") + col("b")
+        assert hash(Const(1.0)) == hash(Const(1.0))

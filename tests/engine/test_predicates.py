@@ -1,0 +1,100 @@
+"""Unit tests for the predicate AST and row-mask evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.engine.predicates import And, Comparison, Contains, InSet, Not, Or
+from repro.errors import QueryScopeError
+
+
+@pytest.fixture
+def columns():
+    return {
+        "x": np.array([1.0, 5.0, 10.0, 20.0]),
+        "c": np.array(["red", "green", "blue", "green"]),
+    }
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("<", [True, True, False, False]),
+            ("<=", [True, True, True, False]),
+            (">", [False, False, False, True]),
+            (">=", [False, False, True, True]),
+            ("==", [False, False, True, False]),
+            ("!=", [True, True, False, True]),
+        ],
+    )
+    def test_all_operators(self, columns, op, expected):
+        mask = Comparison("x", op, 10.0).mask(columns)
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_invalid_operator(self):
+        with pytest.raises(QueryScopeError):
+            Comparison("x", "~", 1.0)
+
+    def test_leaves_and_columns(self):
+        clause = Comparison("x", "<", 1.0)
+        assert clause.leaves() == (clause,)
+        assert clause.columns() == {"x"}
+
+
+class TestInSetAndContains:
+    def test_in_set(self, columns):
+        mask = InSet("c", {"red", "blue"}).mask(columns)
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+
+    def test_in_set_single_value_is_equality(self, columns):
+        mask = InSet("c", {"green"}).mask(columns)
+        np.testing.assert_array_equal(mask, [False, True, False, True])
+
+    def test_empty_in_set_rejected(self):
+        with pytest.raises(QueryScopeError):
+            InSet("c", set())
+
+    def test_contains(self, columns):
+        mask = Contains("c", "re").mask(columns)
+        np.testing.assert_array_equal(mask, [True, True, False, True])
+
+    def test_contains_empty_text_rejected(self):
+        with pytest.raises(QueryScopeError):
+            Contains("c", "")
+
+
+class TestCombinators:
+    def test_and(self, columns):
+        pred = And([Comparison("x", ">", 1.0), Comparison("x", "<", 20.0)])
+        np.testing.assert_array_equal(pred.mask(columns), [False, True, True, False])
+
+    def test_or(self, columns):
+        pred = Or([Comparison("x", "<", 2.0), InSet("c", {"blue"})])
+        np.testing.assert_array_equal(pred.mask(columns), [True, False, True, False])
+
+    def test_not(self, columns):
+        pred = Not(Comparison("x", ">=", 10.0))
+        np.testing.assert_array_equal(pred.mask(columns), [True, True, False, False])
+
+    def test_nested_leaves_flatten(self):
+        a = Comparison("x", "<", 1.0)
+        b = InSet("c", {"red"})
+        c = Comparison("x", ">", 5.0)
+        pred = Or([And([a, b]), Not(c)])
+        assert pred.leaves() == (a, b, c)
+        assert pred.columns() == {"x", "c"}
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(QueryScopeError):
+            And([])
+
+    def test_de_morgan_equivalence(self, columns):
+        a = Comparison("x", "<", 8.0)
+        b = InSet("c", {"green"})
+        lhs = Not(And([a, b])).mask(columns)
+        rhs = Or([Not(a), Not(b)]).mask(columns)
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_labels_render(self):
+        pred = Not(And([Comparison("x", "<", 1.0), InSet("c", {"red"})]))
+        assert "NOT" in pred.label() and "AND" in pred.label()

@@ -1,0 +1,66 @@
+"""Unit tests for Query validation and component deduplication."""
+
+import pytest
+
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.expressions import col
+from repro.engine.predicates import And, Comparison, InSet
+from repro.engine.query import Query
+from repro.errors import QueryScopeError
+
+
+class TestValidation:
+    def test_needs_aggregates(self):
+        with pytest.raises(QueryScopeError):
+            Query([])
+
+    def test_duplicate_group_by_rejected(self):
+        with pytest.raises(QueryScopeError):
+            Query([count_star()], group_by=("a", "a"))
+
+    def test_label_renders_all_parts(self):
+        query = Query(
+            [sum_of(col("x"))],
+            Comparison("y", "<", 1.0),
+            ("g",),
+        )
+        label = query.label()
+        assert "SUM(x)" in label and "WHERE" in label and "GROUP BY g" in label
+
+
+class TestComponents:
+    def test_avg_and_sum_share_component(self):
+        query = Query([sum_of(col("x")), avg_of(col("x"))])
+        # SUM(x) reused; one extra COUNT for the AVG.
+        assert query.num_components == 2
+        assert query.component_index == ((0,), (0, 1))
+
+    def test_count_shared_between_avg_and_count_star(self):
+        query = Query([count_star(), avg_of(col("x"))])
+        assert query.num_components == 2
+        assert query.component_index == ((0,), (1, 0))
+
+    def test_distinct_expressions_get_distinct_components(self):
+        query = Query([sum_of(col("x")), sum_of(col("y"))])
+        assert query.num_components == 2
+
+
+class TestIntrospection:
+    def test_columns_unions_everything(self):
+        query = Query(
+            [sum_of(col("x") * col("y"))],
+            And([Comparison("z", ">", 0.0), InSet("c", {"v"})]),
+            ("g",),
+        )
+        assert query.columns() == {"x", "y", "z", "c", "g"}
+
+    def test_predicate_clause_count(self):
+        query = Query(
+            [count_star()],
+            And([Comparison("a", ">", 0.0), Comparison("b", "<", 1.0)]),
+        )
+        assert query.num_predicate_clauses() == 2
+        assert Query([count_star()]).num_predicate_clauses() == 0
+
+    def test_predicate_columns_empty_without_predicate(self):
+        assert Query([count_star()]).predicate_columns() == frozenset()

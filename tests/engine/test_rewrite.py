@@ -1,0 +1,113 @@
+"""Unit tests for CASE-aggregate rewriting (paper section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import AggFunc, count_star, sum_of
+from repro.engine.executor import execute_on_table
+from repro.engine.expressions import col
+from repro.engine.predicates import And, Comparison, InSet
+from repro.engine.rewrite import CaseAggregate, rewrite_case_aggregates
+from repro.errors import QueryScopeError
+
+
+@pytest.fixture
+def condition():
+    return InSet("cat", {"a"})
+
+
+class TestCaseAggregate:
+    def test_label_renders_case(self, condition):
+        agg = CaseAggregate(AggFunc.SUM, condition, col("x"))
+        assert "CASE WHEN" in agg.label()
+        assert "THEN x" in agg.label()
+
+    def test_count_case_takes_no_expression(self, condition):
+        with pytest.raises(QueryScopeError):
+            CaseAggregate(AggFunc.COUNT, condition, col("x"))
+
+    def test_sum_case_requires_expression(self, condition):
+        with pytest.raises(QueryScopeError):
+            CaseAggregate(AggFunc.SUM, condition)
+
+    def test_avg_case_out_of_scope(self, condition):
+        with pytest.raises(QueryScopeError, match="denominator"):
+            CaseAggregate(AggFunc.AVG, condition, col("x"))
+
+
+class TestRewrite:
+    def test_condition_moves_into_predicate(self, condition):
+        query = rewrite_case_aggregates(
+            [CaseAggregate(AggFunc.SUM, condition, col("x"))]
+        )
+        assert query.predicate == condition
+        assert query.aggregates[0].label() == "SUM(x)"
+
+    def test_condition_conjoined_with_existing_predicate(self, condition):
+        base = Comparison("x", ">", 1.0)
+        query = rewrite_case_aggregates(
+            [CaseAggregate(AggFunc.SUM, condition, col("x"))], predicate=base
+        )
+        assert isinstance(query.predicate, And)
+        assert set(query.predicate.children) == {base, condition}
+
+    def test_multiple_same_condition_aggregates(self, condition):
+        query = rewrite_case_aggregates(
+            [
+                CaseAggregate(AggFunc.SUM, condition, col("x")),
+                CaseAggregate(AggFunc.COUNT, condition),
+            ]
+        )
+        assert len(query.aggregates) == 2
+        assert query.aggregates[1].func is AggFunc.COUNT
+
+    def test_plain_aggregates_pass_through(self):
+        query = rewrite_case_aggregates([sum_of(col("x")), count_star()])
+        assert query.predicate is None
+        assert len(query.aggregates) == 2
+
+    def test_mixing_rejected(self, condition):
+        with pytest.raises(QueryScopeError, match="mix"):
+            rewrite_case_aggregates(
+                [sum_of(col("x")), CaseAggregate(AggFunc.SUM, condition, col("x"))]
+            )
+
+    def test_differing_conditions_rejected(self, condition):
+        other = InSet("cat", {"b"})
+        with pytest.raises(QueryScopeError, match="differing"):
+            rewrite_case_aggregates(
+                [
+                    CaseAggregate(AggFunc.SUM, condition, col("x")),
+                    CaseAggregate(AggFunc.SUM, other, col("x")),
+                ]
+            )
+
+    def test_group_by_preserved(self, condition):
+        query = rewrite_case_aggregates(
+            [CaseAggregate(AggFunc.SUM, condition, col("x"))], group_by=("d",)
+        )
+        assert query.group_by == ("d",)
+
+
+class TestSemantics:
+    def test_rewrite_matches_manual_case_evaluation(self, tiny_table, condition):
+        """SUM(CASE WHEN cat='a' THEN x ELSE 0) == SUM(x) WHERE cat='a'."""
+        query = rewrite_case_aggregates(
+            [CaseAggregate(AggFunc.SUM, condition, col("x"))]
+        )
+        answer = execute_on_table(tiny_table, query)
+        manual = np.where(
+            tiny_table.columns["cat"] == "a", tiny_table.columns["x"], 0.0
+        ).sum()
+        assert answer[()][0] == pytest.approx(manual)
+
+    def test_rewrite_with_base_predicate_matches(self, tiny_table, condition):
+        base = Comparison("x", ">", 10.0)
+        query = rewrite_case_aggregates(
+            [CaseAggregate(AggFunc.COUNT, condition)], predicate=base
+        )
+        answer = execute_on_table(tiny_table, query)
+        mask = (tiny_table.columns["x"] > 10.0) & (tiny_table.columns["cat"] == "a")
+        expected = int(mask.sum())
+        got = answer[()][0] if answer else 0.0
+        assert got == expected

@@ -1,0 +1,108 @@
+"""Unit tests for the from-scratch gradient-boosted trees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.ml.gbrt import GBRTRegressor, _quantile_bin_edges
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2000, 20))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 5] + 0.05 * rng.normal(size=2000)
+    return X, y
+
+
+class TestBinning:
+    def test_few_uniques_split_between_values(self):
+        edges = _quantile_bin_edges(np.array([1.0, 1.0, 2.0, 3.0]), 64)
+        np.testing.assert_allclose(edges, [1.5, 2.5])
+
+    def test_constant_feature_has_no_edges(self):
+        assert _quantile_bin_edges(np.full(10, 4.2), 64).size == 0
+
+    def test_edges_are_sorted_unique(self):
+        values = np.random.default_rng(1).exponential(1.0, 5000)
+        edges = _quantile_bin_edges(values, 32)
+        assert np.all(np.diff(edges) > 0)
+        assert edges.size <= 31
+
+
+class TestFit:
+    def test_learns_linear_signal(self, linear_data):
+        X, y = linear_data
+        model = GBRTRegressor(n_trees=40, max_depth=3, seed=1).fit(X, y)
+        pred = model.predict(X)
+        r2 = 1.0 - np.var(y - pred) / np.var(y)
+        assert r2 > 0.9
+
+    def test_generalizes_to_held_out(self, linear_data):
+        X, y = linear_data
+        model = GBRTRegressor(n_trees=40, seed=1).fit(X[:1500], y[:1500])
+        pred = model.predict(X[1500:])
+        r2 = 1.0 - np.var(y[1500:] - pred) / np.var(y[1500:])
+        assert r2 > 0.8
+
+    def test_constant_target_converges_immediately(self):
+        X = np.random.default_rng(0).normal(size=(100, 5))
+        model = GBRTRegressor(n_trees=20).fit(X, np.full(100, 7.0))
+        np.testing.assert_allclose(model.predict(X), 7.0)
+        assert model.num_trees_fitted == 0
+
+    def test_colsample_still_learns(self, linear_data):
+        X, y = linear_data
+        model = GBRTRegressor(n_trees=60, colsample=0.4, seed=2).fit(X, y)
+        pred = model.predict(X)
+        r2 = 1.0 - np.var(y - pred) / np.var(y)
+        assert r2 > 0.8
+
+    def test_min_samples_leaf_respected(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = (X[:, 0] > 10).astype(float)
+        model = GBRTRegressor(n_trees=1, max_depth=8, min_samples_leaf=8).fit(X, y)
+        tree = model._trees[0]
+        # Count leaf populations by running training data through the tree.
+        assert model.num_trees_fitted == 1
+        assert (tree.feature >= 0).sum() <= 2  # few splits possible at n=20
+
+
+class TestImportance:
+    def test_gain_concentrates_on_signal_features(self, linear_data):
+        X, y = linear_data
+        model = GBRTRegressor(n_trees=40, seed=1).fit(X, y)
+        importances = model.feature_importances()
+        assert importances.sum() == pytest.approx(1.0)
+        top2 = set(np.argsort(importances)[-2:])
+        assert top2 == {0, 5}
+
+    def test_importance_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GBRTRegressor().feature_importances()
+
+
+class TestValidation:
+    def test_bad_hyperparameters(self):
+        with pytest.raises(ConfigError):
+            GBRTRegressor(n_trees=0)
+        with pytest.raises(ConfigError):
+            GBRTRegressor(learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            GBRTRegressor(colsample=1.5)
+        with pytest.raises(ConfigError):
+            GBRTRegressor(num_bins=1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            GBRTRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GBRTRegressor().predict(np.zeros((1, 2)))
+
+    def test_predict_wrong_width_rejected(self, linear_data):
+        X, y = linear_data
+        model = GBRTRegressor(n_trees=2).fit(X, y)
+        with pytest.raises(ConfigError):
+            model.predict(np.zeros((3, 7)))

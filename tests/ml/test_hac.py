@@ -1,0 +1,85 @@
+"""Unit tests for hierarchical agglomerative clustering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.ml.hac import agglomerative
+
+
+@pytest.fixture
+def three_blobs():
+    rng = np.random.default_rng(3)
+    return np.vstack(
+        [
+            rng.normal((0, 0), 0.15, (30, 2)),
+            rng.normal((6, 0), 0.15, (30, 2)),
+            rng.normal((0, 6), 0.15, (30, 2)),
+        ]
+    )
+
+
+class TestLinkages:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_recovers_blobs(self, three_blobs, linkage):
+        labels = agglomerative(three_blobs, 3, linkage)
+        for start in (0, 30, 60):
+            block = labels[start : start + 30]
+            assert len(np.unique(block)) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_single_linkage_chains(self):
+        # A dense chain plus one distant point: single linkage keeps the
+        # chain whole where ward prefers balanced splits.
+        chain = np.column_stack([np.linspace(0, 10, 50), np.zeros(50)])
+        outlier = np.array([[100.0, 0.0]])
+        points = np.vstack([chain, outlier])
+        labels = agglomerative(points, 2, "single")
+        assert len(np.unique(labels[:50])) == 1
+        assert labels[50] != labels[0]
+
+    def test_ward_splits_by_variance(self, three_blobs):
+        labels2 = agglomerative(three_blobs, 2, "ward")
+        sizes = np.bincount(labels2)
+        assert sorted(sizes.tolist()) == [30, 60]
+
+
+class TestStructure:
+    def test_n_clusters_equals_points_is_identity(self):
+        points = np.random.default_rng(0).normal(size=(7, 3))
+        labels = agglomerative(points, 7)
+        assert len(np.unique(labels)) == 7
+
+    def test_n_clusters_larger_than_points(self):
+        points = np.random.default_rng(0).normal(size=(4, 2))
+        labels = agglomerative(points, 10)
+        assert len(np.unique(labels)) == 4
+
+    def test_one_cluster(self, three_blobs):
+        labels = agglomerative(three_blobs, 1)
+        assert len(np.unique(labels)) == 1
+
+    def test_labels_contiguous(self, three_blobs):
+        labels = agglomerative(three_blobs, 5, "ward")
+        assert set(labels) == set(range(5))
+
+    def test_identical_points_merge_first(self):
+        points = np.array([[0.0], [0.0], [5.0], [5.0], [99.0]])
+        labels = agglomerative(points, 3, "average")
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+
+class TestValidation:
+    def test_bad_linkage(self):
+        with pytest.raises(ConfigError):
+            agglomerative(np.zeros((3, 2)), 2, "median")
+
+    def test_bad_cluster_count(self):
+        with pytest.raises(ConfigError):
+            agglomerative(np.zeros((3, 2)), 0)
+
+    def test_empty_input(self):
+        with pytest.raises(ConfigError):
+            agglomerative(np.empty((0, 2)), 1)

@@ -1,0 +1,70 @@
+"""Unit tests for the from-scratch KMeans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError
+from repro.ml.kmeans import KMeans
+
+
+@pytest.fixture
+def three_blobs():
+    rng = np.random.default_rng(0)
+    return np.vstack(
+        [
+            rng.normal((0, 0), 0.2, (40, 2)),
+            rng.normal((8, 0), 0.2, (40, 2)),
+            rng.normal((0, 8), 0.2, (40, 2)),
+        ]
+    )
+
+
+class TestClustering:
+    def test_recovers_separated_blobs(self, three_blobs):
+        labels = KMeans(3, seed=1).fit_predict(three_blobs)
+        # Each blob maps to a single cluster.
+        for start in (0, 40, 80):
+            block = labels[start : start + 40]
+            assert len(np.unique(block)) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_inertia_decreases_with_k(self, three_blobs):
+        inertias = []
+        for k in (1, 2, 3):
+            model = KMeans(k, seed=0).fit(three_blobs)
+            inertias.append(model.inertia_)
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_at_least_points_gives_singletons(self):
+        points = np.arange(5, dtype=float).reshape(-1, 1) * 10
+        labels = KMeans(10, seed=0).fit_predict(points)
+        assert len(np.unique(labels)) == 5
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((20, 3))
+        labels = KMeans(4, seed=0).fit_predict(points)
+        assert labels.shape == (20,)
+
+    def test_deterministic_for_fixed_seed(self, three_blobs):
+        a = KMeans(3, seed=42).fit_predict(three_blobs)
+        b = KMeans(3, seed=42).fit_predict(three_blobs)
+        np.testing.assert_array_equal(a, b)
+
+    def test_predict_assigns_nearest_center(self, three_blobs):
+        model = KMeans(3, seed=1).fit(three_blobs)
+        label_of_origin = model.predict(np.array([[0.0, 0.0]]))[0]
+        assert label_of_origin == model.labels_[0]
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ConfigError):
+            KMeans(0)
+
+    def test_empty_input(self):
+        with pytest.raises(ConfigError):
+            KMeans(2).fit(np.empty((0, 3)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((1, 2)))

@@ -1,0 +1,150 @@
+"""Property-based tests for sketch invariants (hypothesis).
+
+The sketches underpin every selectivity and feature computation, so their
+invariants are checked against arbitrary inputs: moments match numpy,
+merges commute with concatenation, histograms stay monotone with exact
+bucket totals, AKMV never loses multiplicity mass, and serialization
+round-trips.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sketches.akmv import AKMVSketch
+from repro.sketches.heavy_hitter import HeavyHitterSketch
+from repro.sketches.histogram import EquiDepthHistogram
+from repro.sketches.measures import MeasuresSketch
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+float_arrays = arrays(np.float64, st.integers(1, 300), elements=finite_floats)
+string_arrays = st.lists(
+    st.sampled_from([f"v{i}" for i in range(30)]), min_size=1, max_size=300
+).map(np.array)
+
+
+class TestMeasuresProperties:
+    @given(float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_moments_match_numpy(self, values):
+        sketch = MeasuresSketch()
+        sketch.update(values)
+        assert np.isclose(sketch.mean, values.mean(), rtol=1e-9, atol=1e-9)
+        assert sketch.min_value() == values.min()
+        assert sketch.max_value() == values.max()
+        assert sketch.std >= 0.0
+
+    @given(float_arrays, float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes_with_concat(self, left, right):
+        merged = MeasuresSketch()
+        merged.update(left)
+        other = MeasuresSketch()
+        other.update(right)
+        merged.merge(other)
+        bulk = MeasuresSketch()
+        bulk.update(np.concatenate([left, right]))
+        assert np.isclose(merged.mean, bulk.mean, rtol=1e-9, atol=1e-9)
+        assert merged.count == bulk.count
+        assert merged.min_value() == bulk.min_value()
+
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_serialization_roundtrip(self, values):
+        sketch = MeasuresSketch()
+        sketch.update(values)
+        restored = MeasuresSketch.from_bytes(sketch.to_bytes())
+        assert restored.count == sketch.count
+        assert np.isclose(restored.total, sketch.total)
+
+
+class TestHistogramProperties:
+    @given(float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_depths_account_for_every_row(self, values):
+        hist = EquiDepthHistogram.build(values, buckets=10)
+        assert hist.depths.sum() == len(values)
+        assert hist.distincts.sum() == len(np.unique(values))
+
+    @given(float_arrays, finite_floats, finite_floats)
+    @settings(max_examples=80, deadline=None)
+    def test_fraction_leq_monotone(self, values, a, b):
+        hist = EquiDepthHistogram.build(values, buckets=10)
+        low, high = min(a, b), max(a, b)
+        assert hist.fraction_leq(low) <= hist.fraction_leq(high) + 1e-12
+
+    @given(float_arrays, finite_floats)
+    @settings(max_examples=80, deadline=None)
+    def test_fractions_bounded(self, values, probe):
+        hist = EquiDepthHistogram.build(values, buckets=10)
+        for fraction in (
+            hist.fraction_leq(probe),
+            hist.fraction_eq(probe),
+            hist.fraction_lt(probe),
+        ):
+            assert 0.0 <= fraction <= 1.0
+
+    @given(float_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_present_value_has_positive_eq(self, values):
+        """Perfect recall: a value that exists must never score zero."""
+        hist = EquiDepthHistogram.build(values, buckets=10)
+        probe = float(values[0])
+        assert hist.fraction_eq(probe) > 0.0
+
+    @given(float_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, values):
+        hist = EquiDepthHistogram.build(values, buckets=10)
+        restored = EquiDepthHistogram.from_bytes(hist.to_bytes())
+        np.testing.assert_array_equal(restored.depths, hist.depths)
+        np.testing.assert_allclose(restored.edges, hist.edges)
+
+
+class TestAKMVProperties:
+    @given(string_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_below_k(self, values):
+        sketch = AKMVSketch.build(values, k=64)
+        true_distinct = len(np.unique(values))
+        if true_distinct < 64:
+            assert sketch.distinct_estimate() == float(true_distinct)
+
+    @given(string_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_tracked_mass_never_exceeds_input(self, values):
+        sketch = AKMVSketch.build(values, k=8)
+        assert sketch.counts.sum() <= len(values)
+
+    @given(string_arrays, string_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_bulk(self, left, right):
+        merged = AKMVSketch.build(left, k=32)
+        merged.merge(AKMVSketch.build(right, k=32))
+        bulk = AKMVSketch.build(np.concatenate([left, right]), k=32)
+        np.testing.assert_array_equal(merged.hashes, bulk.hashes)
+        np.testing.assert_array_equal(merged.counts, bulk.counts)
+
+
+class TestHeavyHitterProperties:
+    @given(string_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives_at_support(self, values):
+        """Lossy counting must report every value above support."""
+        sketch = HeavyHitterSketch.build(values, support=0.1)
+        uniques, counts = np.unique(values, return_counts=True)
+        for value, count in zip(uniques, counts):
+            if count / len(values) >= 0.1:
+                assert str(value) in {str(k) for k in sketch.items()}
+
+    @given(string_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_never_overreport(self, values):
+        sketch = HeavyHitterSketch.build(values, support=0.05)
+        uniques, counts = np.unique(values, return_counts=True)
+        true_counts = {str(v): int(c) for v, c in zip(uniques, counts)}
+        for value, estimated in sketch.items().items():
+            assert estimated <= true_counts[str(value)] + 1e-9

@@ -1,0 +1,87 @@
+"""Unit tests for the AKMV distinct-value sketch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sketches.akmv import AKMVSketch
+
+
+class TestExactRegime:
+    def test_fewer_than_k_distinct_is_exact(self):
+        values = np.array([f"v{i % 40}" for i in range(1000)])
+        sketch = AKMVSketch.build(values, k=128)
+        assert sketch.is_exact
+        assert sketch.distinct_estimate() == 40.0
+
+    def test_counts_track_multiplicity(self):
+        values = np.array(["a"] * 7 + ["b"] * 3)
+        sketch = AKMVSketch.build(values, k=16)
+        assert sorted(sketch.counts.tolist()) == [3, 7]
+
+    def test_empty_column(self):
+        sketch = AKMVSketch.build(np.array([]), k=16)
+        assert sketch.distinct_estimate() == 0.0
+        assert sketch.freq_stats() == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestEstimationRegime:
+    def test_estimate_accuracy(self):
+        true_dv = 5000
+        values = np.array([f"value{i}" for i in range(true_dv)])
+        sketch = AKMVSketch.build(values, k=128)
+        assert not sketch.is_exact
+        estimate = sketch.distinct_estimate()
+        assert abs(estimate - true_dv) / true_dv < 0.30  # k=128 KMV bound
+
+    def test_numeric_values(self):
+        values = np.random.default_rng(0).integers(0, 2000, 20_000).astype(float)
+        sketch = AKMVSketch.build(values, k=128)
+        estimate = sketch.distinct_estimate()
+        assert abs(estimate - 2000) / 2000 < 0.30
+
+
+class TestMerge:
+    def test_merge_unions_multisets(self):
+        left = AKMVSketch.build(np.array(["a", "b", "a"]), k=64)
+        right = AKMVSketch.build(np.array(["b", "c"]), k=64)
+        left.merge(right)
+        assert left.distinct_estimate() == 3.0
+        assert int(left.counts.sum()) == 5  # multiplicities added
+
+    def test_merge_matches_bulk_estimate(self):
+        values = np.array([f"u{i}" for i in range(3000)])
+        bulk = AKMVSketch.build(values, k=128)
+        left = AKMVSketch.build(values[:1500], k=128)
+        right = AKMVSketch.build(values[1500:], k=128)
+        left.merge(right)
+        np.testing.assert_array_equal(left.hashes, bulk.hashes)
+
+
+class TestFreqStats:
+    def test_stats_shape(self):
+        values = np.array(["a"] * 5 + ["b"] * 2 + ["c"])
+        avg, mx, mn, total = AKMVSketch.build(values, k=16).freq_stats()
+        assert (avg, mx, mn, total) == (pytest.approx(8 / 3), 5.0, 1.0, 8.0)
+
+
+class TestValidationAndSerialization:
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            AKMVSketch(k=1)
+
+    def test_roundtrip(self):
+        sketch = AKMVSketch.build(np.array([f"r{i}" for i in range(500)]), k=64)
+        restored = AKMVSketch.from_bytes(sketch.to_bytes())
+        np.testing.assert_array_equal(restored.hashes, sketch.hashes)
+        np.testing.assert_array_equal(restored.counts, sketch.counts)
+        assert restored.k == 64
+
+    def test_size_matches_encoding(self):
+        sketch = AKMVSketch.build(np.array(["x", "y"]), k=16)
+        assert sketch.size_bytes() == len(sketch.to_bytes())
+
+    def test_corrupt_payload_rejected(self):
+        sketch = AKMVSketch.build(np.array(["x"]), k=16)
+        with pytest.raises(ConfigError):
+            AKMVSketch.from_bytes(sketch.to_bytes()[:-3])

@@ -1,0 +1,85 @@
+"""Unit tests for the per-partition statistics builder."""
+
+import pytest
+
+from repro.sketches.builder import (
+    SketchConfig,
+    build_dataset_statistics,
+    build_partition_statistics,
+)
+
+
+class TestPartitionStatistics:
+    def test_numeric_column_gets_all_numeric_sketches(self, tiny_ptable):
+        pstats = build_partition_statistics(tiny_ptable[0])
+        cs = pstats.columns["x"]
+        assert cs.measures is not None
+        assert cs.histogram is not None and not cs.histogram.hashed
+        assert cs.akmv is not None
+        assert cs.heavy_hitter is not None
+        assert cs.exact_dict is None
+
+    def test_positive_column_tracks_log_measures(self, tiny_ptable):
+        pstats = build_partition_statistics(tiny_ptable[0])
+        assert pstats.columns["x"].measures.track_log
+        assert not pstats.columns["y"].measures.track_log
+
+    def test_categorical_column_gets_hashed_histogram(self, tiny_ptable):
+        pstats = build_partition_statistics(tiny_ptable[0])
+        cs = pstats.columns["cat"]
+        assert cs.measures is None
+        assert cs.histogram.hashed
+        assert cs.exact_dict is not None  # declared low_cardinality
+
+    def test_non_low_cardinality_has_no_dict(self, tiny_ptable):
+        pstats = build_partition_statistics(tiny_ptable[0])
+        assert pstats.columns["tag"].exact_dict is None
+
+    def test_row_count_recorded(self, tiny_ptable):
+        pstats = build_partition_statistics(tiny_ptable[3])
+        assert pstats.num_rows == tiny_ptable[3].num_rows
+        assert pstats.partition_index == 3
+
+
+class TestStorageAccounting:
+    def test_size_by_kind_sums_to_total(self, tiny_stats):
+        for pstats in tiny_stats.partitions:
+            breakdown = pstats.size_by_kind()
+            assert sum(breakdown.values()) == pstats.size_bytes()
+
+    def test_table1_complexity_measures_constant(self, tiny_ptable):
+        """Paper Table 1: measures storage is O(1) regardless of rows."""
+        small = build_partition_statistics(tiny_ptable[0])
+        assert small.columns["x"].measures.size_bytes() < 128
+
+    def test_table1_akmv_bounded_by_k(self, tiny_ptable):
+        config = SketchConfig(akmv_k=16)
+        pstats = build_partition_statistics(tiny_ptable[0], config)
+        # header + 16 bytes per tracked value, at most k of them
+        assert pstats.columns["tag"].akmv.size_bytes() <= 8 + 16 * 16
+
+    def test_hh_bounded_by_support(self, tiny_stats):
+        for pstats in tiny_stats.partitions:
+            hh = pstats.columns["cat"].heavy_hitter
+            assert len(hh.items()) <= int(1 / hh.support) + 1
+
+
+class TestDatasetStatistics:
+    def test_builds_every_partition(self, tiny_ptable, tiny_stats):
+        assert tiny_stats.num_partitions == tiny_ptable.num_partitions
+
+    def test_global_heavy_hitters_ranked(self, tiny_stats):
+        hitters = tiny_stats.global_heavy_hitters["cat"]
+        assert hitters[0] == "a"  # 55% of rows
+        assert len(hitters) <= tiny_stats.config.bitmap_k
+
+    def test_global_heavy_hitters_capped(self, tiny_ptable):
+        config = SketchConfig(bitmap_k=2)
+        stats = build_dataset_statistics(tiny_ptable, config)
+        assert len(stats.global_heavy_hitters["cat"]) <= 2
+
+    def test_average_size(self, tiny_stats):
+        average = tiny_stats.average_partition_size_bytes()
+        assert average > 0
+        sizes = [p.size_bytes() for p in tiny_stats.partitions]
+        assert average == pytest.approx(sum(sizes) / len(sizes))

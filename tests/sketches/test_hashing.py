@@ -1,0 +1,48 @@
+"""Unit tests for stable hashing."""
+
+import numpy as np
+
+from repro.sketches.hashing import hash_array, hash_value, normalize_hashes
+
+
+class TestHashValue:
+    def test_deterministic(self):
+        assert hash_value("hello") == hash_value("hello")
+        assert hash_value(1.5) == hash_value(1.5)
+
+    def test_strings_and_floats_disagree(self):
+        assert hash_value("1.5") != hash_value(1.5)
+
+    def test_distinct_values_rarely_collide(self):
+        hashes = {hash_value(f"v{i}") for i in range(10_000)}
+        assert len(hashes) == 10_000
+
+    def test_numpy_string_matches_python_string(self):
+        assert hash_value(np.str_("abc")) == hash_value("abc")
+
+
+class TestHashArray:
+    def test_elementwise_consistency(self):
+        values = np.array(["a", "b", "a", "c"])
+        hashed = hash_array(values)
+        assert hashed[0] == hashed[2]
+        assert hashed[0] != hashed[1]
+        assert hashed.dtype == np.uint64
+
+    def test_numeric_arrays(self):
+        values = np.array([1.0, 2.0, 1.0])
+        hashed = hash_array(values)
+        assert hashed[0] == hashed[2] != hashed[1]
+
+
+class TestNormalize:
+    def test_range(self):
+        hashes = hash_array(np.array([f"x{i}" for i in range(1000)]))
+        normalized = normalize_hashes(hashes)
+        assert np.all((normalized >= 0.0) & (normalized < 1.0))
+
+    def test_approximately_uniform(self):
+        hashes = hash_array(np.array([f"x{i}" for i in range(20_000)]))
+        normalized = normalize_hashes(hashes)
+        # Mean of U(0,1) is 0.5; generous tolerance for 20k samples.
+        assert abs(normalized.mean() - 0.5) < 0.02

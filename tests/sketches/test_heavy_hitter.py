@@ -1,0 +1,92 @@
+"""Unit tests for lossy-counting heavy hitters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sketches.heavy_hitter import HeavyHitterSketch
+
+
+def skewed_values(n: int = 10_000, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # 'big' ~ 40%, 'mid' ~ 10%, the rest spread over 1000 rare values.
+    return rng.choice(
+        np.array(["big", "mid"] + [f"rare{i}" for i in range(1000)]),
+        size=n,
+        p=[0.4, 0.1] + [0.5 / 1000] * 1000,
+    )
+
+
+class TestDetection:
+    def test_finds_true_heavy_hitters(self):
+        sketch = HeavyHitterSketch.build(skewed_values(), support=0.01)
+        found = sketch.frequencies()
+        assert found["big"] == pytest.approx(0.4, abs=0.03)
+        assert found["mid"] == pytest.approx(0.1, abs=0.03)
+
+    def test_rare_values_not_reported(self):
+        sketch = HeavyHitterSketch.build(skewed_values(), support=0.01)
+        assert all(not str(v).startswith("rare") for v in sketch.items())
+
+    def test_dictionary_bounded_by_support(self):
+        sketch = HeavyHitterSketch.build(skewed_values(), support=0.01)
+        assert len(sketch.items()) <= 100 + 1  # 1/support plus epsilon slack
+
+    def test_undercount_bounded_by_epsilon(self):
+        values = skewed_values()
+        sketch = HeavyHitterSketch.build(values, support=0.01)
+        true_count = int((values == "big").sum())
+        estimated = sketch.items()["big"]
+        assert estimated <= true_count
+        assert true_count - estimated <= sketch.epsilon * len(values)
+
+    def test_numeric_values_supported(self):
+        values = np.array([1.0] * 500 + [2.0] * 400 + list(range(100)), dtype=float)
+        sketch = HeavyHitterSketch.build(values, support=0.05)
+        assert 1.0 in sketch.items() and 2.0 in sketch.items()
+
+    def test_empty_input(self):
+        sketch = HeavyHitterSketch(support=0.01)
+        assert sketch.items() == {}
+        assert sketch.stats() == (0.0, 0.0, 0.0)
+
+
+class TestStats:
+    def test_stats_tuple(self):
+        sketch = HeavyHitterSketch.build(skewed_values(), support=0.01)
+        count, avg, mx = sketch.stats()
+        assert count == len(sketch.frequencies())
+        assert 0.0 < avg <= mx
+        assert mx == pytest.approx(0.4, abs=0.03)
+
+
+class TestMerge:
+    def test_merge_combines_counts(self):
+        left = HeavyHitterSketch.build(skewed_values(seed=1), support=0.01)
+        right = HeavyHitterSketch.build(skewed_values(seed=2), support=0.01)
+        total_before = left.items()["big"] + right.items()["big"]
+        left.merge(right)
+        assert left.total == 20_000
+        assert left.items()["big"] == pytest.approx(total_before, rel=0.05)
+
+
+class TestValidationAndSerialization:
+    def test_bad_support_rejected(self):
+        with pytest.raises(ConfigError):
+            HeavyHitterSketch(support=0.0)
+        with pytest.raises(ConfigError):
+            HeavyHitterSketch(support=1.5)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ConfigError):
+            HeavyHitterSketch(support=0.01, epsilon=0.5)
+
+    def test_roundtrip(self):
+        sketch = HeavyHitterSketch.build(skewed_values(), support=0.01)
+        restored = HeavyHitterSketch.from_bytes(sketch.to_bytes())
+        assert restored.items() == sketch.items()
+        assert restored.total == sketch.total
+
+    def test_size_matches_encoding(self):
+        sketch = HeavyHitterSketch.build(skewed_values(), support=0.01)
+        assert sketch.size_bytes() == len(sketch.to_bytes())

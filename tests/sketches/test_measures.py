@@ -1,0 +1,101 @@
+"""Unit tests for the measures sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.measures import MeasuresSketch
+
+
+@pytest.fixture
+def values():
+    return np.random.default_rng(0).exponential(5.0, 1000) + 1.0
+
+
+class TestBasicStats:
+    def test_matches_numpy(self, values):
+        sketch = MeasuresSketch()
+        sketch.update(values)
+        assert sketch.count == 1000
+        assert sketch.mean == pytest.approx(values.mean())
+        assert sketch.std == pytest.approx(values.std(), rel=1e-9)
+        assert sketch.min_value() == values.min()
+        assert sketch.max_value() == values.max()
+
+    def test_incremental_updates_match_bulk(self, values):
+        bulk = MeasuresSketch()
+        bulk.update(values)
+        incremental = MeasuresSketch()
+        for chunk in np.array_split(values, 7):
+            incremental.update(chunk)
+        assert incremental.mean == pytest.approx(bulk.mean)
+        assert incremental.std == pytest.approx(bulk.std)
+
+    def test_empty_sketch_is_zero(self):
+        sketch = MeasuresSketch()
+        assert sketch.count == 0
+        assert sketch.mean == 0.0
+        assert sketch.std == 0.0
+        assert sketch.min_value() == 0.0
+
+    def test_empty_update_is_noop(self):
+        sketch = MeasuresSketch()
+        sketch.update(np.array([]))
+        assert sketch.count == 0
+
+
+class TestLogChannel:
+    def test_log_measures(self, values):
+        sketch = MeasuresSketch(track_log=True)
+        sketch.update(values)
+        logs = np.log(values)
+        assert sketch.log_mean == pytest.approx(logs.mean())
+        assert sketch.log_min_value() == pytest.approx(logs.min())
+        assert sketch.log_max_value() == pytest.approx(logs.max())
+
+    def test_log_channel_disabled_without_flag(self, values):
+        sketch = MeasuresSketch()
+        sketch.update(values)
+        assert sketch.log_mean == 0.0
+
+    def test_nonpositive_values_disable_log_channel(self):
+        sketch = MeasuresSketch(track_log=True)
+        sketch.update(np.array([1.0, -2.0, 3.0]))
+        assert not sketch.track_log
+        assert sketch.log_mean == 0.0
+
+
+class TestMerge:
+    def test_merge_equals_bulk(self, values):
+        left, right = MeasuresSketch(track_log=True), MeasuresSketch(track_log=True)
+        left.update(values[:500])
+        right.update(values[500:])
+        left.merge(right)
+        bulk = MeasuresSketch(track_log=True)
+        bulk.update(values)
+        assert left.mean == pytest.approx(bulk.mean)
+        assert left.std == pytest.approx(bulk.std)
+        assert left.log_mean == pytest.approx(bulk.log_mean)
+
+    def test_merge_disables_log_if_either_disabled(self, values):
+        left = MeasuresSketch(track_log=True)
+        right = MeasuresSketch(track_log=False)
+        left.update(values[:10])
+        right.update(values[10:20])
+        left.merge(right)
+        assert not left.track_log
+
+
+class TestSerialization:
+    def test_roundtrip(self, values):
+        sketch = MeasuresSketch(track_log=True)
+        sketch.update(values)
+        restored = MeasuresSketch.from_bytes(sketch.to_bytes())
+        assert restored.count == sketch.count
+        assert restored.mean == pytest.approx(sketch.mean)
+        assert restored.log_mean == pytest.approx(sketch.log_mean)
+        assert restored.track_log == sketch.track_log
+
+    def test_size_matches_encoding(self, values):
+        sketch = MeasuresSketch()
+        sketch.update(values)
+        assert sketch.size_bytes() == len(sketch.to_bytes())

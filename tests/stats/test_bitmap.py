@@ -1,0 +1,51 @@
+"""Unit tests for occurrence bitmaps."""
+
+import numpy as np
+
+from repro.stats.bitmap import bitmap_signature, occurrence_bitmap, occurrence_bitmaps
+
+
+class TestOccurrenceBitmap:
+    def test_bitmap_width_matches_global_hitters(self, tiny_stats):
+        width = len(tiny_stats.global_heavy_hitters["cat"])
+        bits = occurrence_bitmap(tiny_stats, 0, "cat")
+        assert bits.shape == (width,)
+
+    def test_bits_reflect_local_heavy_hitters(self, tiny_stats):
+        global_hitters = tiny_stats.global_heavy_hitters["cat"]
+        bits = occurrence_bitmap(tiny_stats, 2, "cat")
+        local = set(tiny_stats.column_stats(2, "cat").heavy_hitter.items())
+        for j, value in enumerate(global_hitters):
+            assert bits[j] == (1.0 if value in local else 0.0)
+
+    def test_matrix_stacks_partitions(self, tiny_stats):
+        matrix = occurrence_bitmaps(tiny_stats, "cat")
+        assert matrix.shape[0] == tiny_stats.num_partitions
+        for p in range(tiny_stats.num_partitions):
+            np.testing.assert_array_equal(
+                matrix[p], occurrence_bitmap(tiny_stats, p, "cat")
+            )
+
+    def test_high_cardinality_column_has_sparse_bitmap(self, tiny_stats):
+        # 'tag' has 300 distinct values in 100-row partitions: few heavy
+        # hitters anywhere, so the bitmap is narrow and mostly zero.
+        matrix = occurrence_bitmaps(tiny_stats, "tag")
+        assert matrix.shape[1] <= tiny_stats.config.bitmap_k
+        if matrix.size:
+            assert matrix.mean() < 0.5
+
+
+class TestSignature:
+    def test_signature_concatenates_columns(self, tiny_stats):
+        sig = bitmap_signature(tiny_stats, 0, ("cat", "tag"))
+        w = len(tiny_stats.global_heavy_hitters["cat"]) + len(
+            tiny_stats.global_heavy_hitters["tag"]
+        )
+        assert len(sig) == w
+        assert all(bit in (0, 1) for bit in sig)
+
+    def test_signature_hashable_and_stable(self, tiny_stats):
+        first = bitmap_signature(tiny_stats, 1, ("cat",))
+        second = bitmap_signature(tiny_stats, 1, ("cat",))
+        assert first == second
+        assert hash(first) == hash(second)

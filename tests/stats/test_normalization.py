@@ -1,0 +1,71 @@
+"""Unit tests for feature normalization (paper Appendix B.1)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import count_star
+from repro.engine.query import Query
+from repro.errors import NotFittedError
+from repro.stats.normalization import Normalizer
+
+
+@pytest.fixture
+def fitted(tiny_feature_builder):
+    queries = [Query([count_star()], group_by=("cat",))]
+    matrices = [
+        tiny_feature_builder.features_for_query(q).matrix for q in queries
+    ]
+    normalizer = Normalizer(tiny_feature_builder.schema)
+    normalizer.fit(matrices)
+    return normalizer, matrices
+
+
+class TestNormalizer:
+    def test_transform_before_fit_raises(self, tiny_feature_builder):
+        normalizer = Normalizer(tiny_feature_builder.schema)
+        with pytest.raises(NotFittedError):
+            normalizer.transform(np.zeros((2, tiny_feature_builder.schema.dimension)))
+
+    def test_average_magnitude_near_one(self, fitted):
+        normalizer, matrices = fitted
+        transformed = normalizer.transform(matrices[0])
+        magnitudes = np.abs(transformed)
+        nonzero = magnitudes[:, magnitudes.any(axis=0)]
+        # Scaling by the training average puts feature means at ~1.
+        assert np.abs(nonzero.mean(axis=0) - 1.0).max() < 1e-6
+
+    def test_zero_features_stay_zero(self, fitted):
+        normalizer, matrices = fitted
+        transformed = normalizer.transform(matrices[0])
+        zero_cols = ~matrices[0].any(axis=0)
+        assert np.all(transformed[:, zero_cols] == 0.0)
+
+    def test_negative_values_keep_sign(self, tiny_feature_builder):
+        schema = tiny_feature_builder.schema
+        matrix = np.zeros((4, schema.dimension))
+        block = schema.stat_slice("y")
+        matrix[:, block.start] = [-10.0, -5.0, 5.0, 10.0]
+        normalizer = Normalizer(schema).fit([matrix])
+        transformed = normalizer.transform(matrix)
+        column = transformed[:, block.start]
+        assert column[0] < 0 < column[3]
+
+    def test_selectivity_gets_cube_root(self, tiny_feature_builder):
+        schema = tiny_feature_builder.schema
+        matrix = np.zeros((2, schema.dimension))
+        sel = schema.selectivity_slice()
+        matrix[:, sel] = 0.125
+        normalizer = Normalizer(schema).fit([matrix])
+        transformed = normalizer.transform(matrix)
+        # cbrt(0.125)=0.5 then scaled by its own mean (0.5) -> 1.0
+        assert transformed[0, sel.start] == pytest.approx(1.0)
+
+    def test_fit_transform_matches_separate_calls(self, tiny_feature_builder):
+        queries = [Query([count_star()])]
+        matrices = [
+            tiny_feature_builder.features_for_query(q).matrix for q in queries
+        ]
+        normalizer = Normalizer(tiny_feature_builder.schema)
+        combined = normalizer.fit_transform([m.copy() for m in matrices])
+        expected = normalizer.transform(matrices[0])
+        np.testing.assert_allclose(combined[0], expected)

@@ -1,0 +1,131 @@
+"""Tests for statistics and model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.picker import PickerConfig, PS3Picker
+from repro.errors import ConfigError
+from repro.ml.gbrt import GBRTRegressor
+from repro.storage import load_model, load_statistics, save_model, save_statistics
+
+
+class TestStatisticsRoundtrip:
+    @pytest.fixture(scope="class")
+    def roundtripped(self, tiny_stats, tmp_path_factory):
+        path = tmp_path_factory.mktemp("stats") / "tiny.ps3stats"
+        save_statistics(tiny_stats, path)
+        return path, load_statistics(path)
+
+    def test_schema_preserved(self, roundtripped, tiny_stats):
+        __, restored = roundtripped
+        assert restored.schema.names == tiny_stats.schema.names
+        for name in tiny_stats.schema.names:
+            assert restored.schema[name].kind == tiny_stats.schema[name].kind
+
+    def test_config_preserved(self, roundtripped, tiny_stats):
+        __, restored = roundtripped
+        assert restored.config == tiny_stats.config
+
+    def test_global_heavy_hitters_preserved(self, roundtripped, tiny_stats):
+        __, restored = roundtripped
+        assert restored.global_heavy_hitters == tiny_stats.global_heavy_hitters
+
+    def test_sketch_values_preserved(self, roundtripped, tiny_stats):
+        __, restored = roundtripped
+        for p in range(tiny_stats.num_partitions):
+            original = tiny_stats.column_stats(p, "x")
+            loaded = restored.column_stats(p, "x")
+            assert loaded.measures.mean == pytest.approx(original.measures.mean)
+            assert loaded.akmv.distinct_estimate() == pytest.approx(
+                original.akmv.distinct_estimate()
+            )
+            np.testing.assert_allclose(
+                loaded.histogram.edges, original.histogram.edges
+            )
+            cat_original = tiny_stats.column_stats(p, "cat")
+            cat_loaded = restored.column_stats(p, "cat")
+            assert cat_loaded.heavy_hitter.items() == cat_original.heavy_hitter.items()
+            assert cat_loaded.exact_dict.counts == cat_original.exact_dict.counts
+
+    def test_file_size_tracks_sketch_accounting(self, roundtripped, tiny_stats):
+        path, __ = roundtripped
+        accounted = sum(p.size_bytes() for p in tiny_stats.partitions)
+        actual = path.stat().st_size
+        # manifest overhead on top of the raw sketch bytes
+        assert accounted <= actual <= accounted * 3 + 100_000
+
+    def test_version_check(self, tmp_path, tiny_stats):
+        path = tmp_path / "bad.ps3stats"
+        save_statistics(tiny_stats, path)
+        raw = path.read_bytes()
+        header_size = int.from_bytes(raw[:8], "little")
+        manifest = json.loads(raw[8 : 8 + header_size])
+        manifest["version"] = 99
+        header = json.dumps(manifest).encode()
+        path.write_bytes(
+            len(header).to_bytes(8, "little") + header + raw[8 + header_size :]
+        )
+        with pytest.raises(ConfigError, match="version"):
+            load_statistics(path)
+
+
+class TestGBRTState:
+    def test_state_roundtrip_predicts_identically(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 10))
+        y = X[:, 2] * 4 - X[:, 7]
+        model = GBRTRegressor(n_trees=15, seed=1).fit(X, y)
+        restored = GBRTRegressor.from_state(model.to_state())
+        np.testing.assert_allclose(restored.predict(X), model.predict(X))
+        np.testing.assert_allclose(
+            restored.feature_importances(), model.feature_importances()
+        )
+
+    def test_state_is_json_safe(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 4))
+        model = GBRTRegressor(n_trees=3).fit(X, X[:, 0])
+        json.dumps(model.to_state())  # must not raise
+
+
+class TestModelRoundtrip:
+    @pytest.fixture(scope="class")
+    def saved(self, trained_ps3, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("model")
+        stats_path = directory / "stats.ps3stats"
+        model_path = directory / "model.json"
+        save_statistics(trained_ps3.statistics, stats_path)
+        save_model(trained_ps3.model, model_path)
+        return stats_path, model_path
+
+    def test_loaded_model_picks_identically(self, saved, trained_ps3):
+        stats_path, model_path = saved
+        statistics = load_statistics(stats_path)
+        model = load_model(model_path, statistics)
+        original_picker = PS3Picker(
+            trained_ps3.model, trained_ps3.statistics, PickerConfig(seed=9)
+        )
+        restored_picker = PS3Picker(model, statistics, PickerConfig(seed=9))
+        query = trained_ps3.training_data.queries[0]
+        original = original_picker.select(query, 5)
+        restored = restored_picker.select(query, 5)
+        assert [(c.partition, c.weight) for c in original.selection] == [
+            (c.partition, c.weight) for c in restored.selection
+        ]
+
+    def test_thresholds_and_exclusions_preserved(self, saved, trained_ps3):
+        stats_path, model_path = saved
+        model = load_model(model_path, load_statistics(stats_path))
+        np.testing.assert_allclose(model.thresholds, trained_ps3.model.thresholds)
+        assert model.excluded_families == trained_ps3.model.excluded_families
+
+    def test_dimension_mismatch_rejected(self, saved, trained_ps3, tmp_path):
+        __, model_path = saved
+        payload = json.loads(model_path.read_text())
+        payload["feature_dimension"] += 1
+        bad_path = tmp_path / "bad_model.json"
+        bad_path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="retrain"):
+            load_model(bad_path, trained_ps3.statistics)

@@ -1,0 +1,103 @@
+"""Extended API tests: feature selection in fit, reporting helpers."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import PS3
+from repro.bench.reporting import emit, format_table, results_dir
+from repro.datasets.registry import get_dataset
+from repro.workload.generator import QueryGenerator
+
+
+class TestFitWithFeatureSelection:
+    @pytest.fixture(scope="class")
+    def selected_system(self):
+        spec = get_dataset("kdd")
+        ptable = spec.build(3000, 12, seed=5)
+        workload = spec.workload()
+        generator = QueryGenerator(workload, ptable.table, seed=6)
+        train = generator.sample_queries(10)
+        return PS3(ptable, workload).fit(train, feature_selection_rounds=1)
+
+    def test_exclusions_recorded_on_model(self, selected_system):
+        # Feature selection ran; exclusions are a (possibly empty) frozenset
+        # that never contains the load-bearing selectivity_upper family.
+        excluded = selected_system.model.excluded_families
+        assert isinstance(excluded, frozenset)
+        assert "selectivity_upper" not in excluded
+
+    def test_picker_clusters_on_reduced_features(self, selected_system):
+        indices = selected_system.model.clustering_feature_indices()
+        dimension = selected_system.feature_builder.schema.dimension
+        assert 0 < indices.size <= dimension
+
+    def test_queries_still_answerable(self, selected_system):
+        generator = QueryGenerator(
+            selected_system.workload, selected_system.ptable.table, seed=77
+        )
+        query = generator.sample_query()
+        answer = selected_system.query(query, budget_fraction=0.5)
+        report = selected_system.evaluate(query, answer)
+        assert report.avg_relative_error < 1.5
+
+
+class TestReporting:
+    def test_emit_writes_result_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        emit("unit_test_report", "hello\nworld")
+        captured = capsys.readouterr().out
+        assert "unit_test_report" in captured
+        assert (tmp_path / "unit_test_report.txt").read_text() == "hello\nworld\n"
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "nested"))
+        path = results_dir()
+        assert path == tmp_path / "nested"
+        assert path.is_dir()
+
+    def test_format_table_handles_mixed_types(self):
+        text = format_table(
+            ["a", "b", "c"],
+            [["row", 1.0, None], ["other", 123456.789, 0.00001]],
+        )
+        assert "1.235e+05" in text or "123456.789" in text
+        assert "None" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text and "headers" in text
+
+
+class TestPickerDeterminism:
+    def test_identical_selections_across_instances(self):
+        spec = get_dataset("aria")
+        ptable = spec.build(2500, 10, seed=8)
+        workload = spec.workload()
+        generator = QueryGenerator(workload, ptable.table, seed=9)
+        train = generator.sample_queries(8)
+        query = generator.sample_query()
+
+        first = PS3(ptable, workload).fit(train)
+        second = PS3(ptable, workload).fit(train)
+        a = first.picker.select(query, 4)
+        b = second.picker.select(query, 4)
+        assert [(c.partition, c.weight) for c in a.selection] == [
+            (c.partition, c.weight) for c in b.selection
+        ]
+
+    def test_weight_mass_invariant_across_budgets(self):
+        spec = get_dataset("aria")
+        ptable = spec.build(2500, 10, seed=8)
+        workload = spec.workload()
+        generator = QueryGenerator(workload, ptable.table, seed=9)
+        system = PS3(ptable, workload).fit(generator.sample_queries(8))
+        query = generator.sample_query()
+        features = system.feature_builder.features_for_query(query)
+        passing = features.passing_partitions().size
+        for budget in (1, 3, 5, 10):
+            result = system.picker.select(query, budget)
+            if result.selection:
+                total = sum(c.weight for c in result.selection)
+                assert total == pytest.approx(float(passing))

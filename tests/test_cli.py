@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    out = tmp_path_factory.mktemp("deploy")
+    code = main(
+        [
+            "train",
+            "--dataset", "kdd",
+            "--rows", "3000",
+            "--partitions", "12",
+            "--seed", "4",
+            "--train-queries", "8",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestInfo:
+    def test_lists_datasets(self, capsys):
+        assert main(["info"]) == 0
+        captured = capsys.readouterr().out
+        for dataset in ("tpch", "tpcds", "aria", "kdd"):
+            assert dataset in captured
+
+
+class TestTrain:
+    def test_writes_deployment_files(self, deployment):
+        assert (deployment / "manifest.json").exists()
+        assert (deployment / "stats.ps3stats").exists()
+        assert (deployment / "model.json").exists()
+
+    def test_manifest_contents(self, deployment):
+        manifest = json.loads((deployment / "manifest.json").read_text())
+        assert manifest["dataset"] == "kdd"
+        assert manifest["partitions"] == 12
+        assert manifest["layout"] == "count"  # the dataset default
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--dataset", "nope", "--out", str(tmp_path)])
+
+
+class TestQuery:
+    def test_answers_sql(self, deployment, capsys):
+        code = main(
+            [
+                "query",
+                "--deploy", str(deployment),
+                "--budget", "0.5",
+                "--exact",
+                "SELECT SUM(src_bytes), COUNT(*) GROUP BY protocol_type",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "SUM(src_bytes)" in captured
+        assert "avg rel err" in captured
+        assert "partitions" in captured
+
+    def test_absolute_budget(self, deployment, capsys):
+        code = main(
+            [
+                "query",
+                "--deploy", str(deployment),
+                "--budget", "3",
+                "--exact",
+                "SELECT COUNT(*)",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        # A predicate-free COUNT(*) makes all partitions look identical,
+        # so clustering may collapse to fewer reads than the budget — the
+        # weighted estimate stays exact regardless.
+        assert "/12 partitions" in captured
+        assert "avg rel err 0.0000" in captured
+
+    def test_bad_sql_reports_error(self, deployment, capsys):
+        code = main(
+            ["query", "--deploy", str(deployment), "SELECT FROM nothing"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEvaluate:
+    def test_reports_mean_errors(self, deployment, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--deploy", str(deployment),
+                "--budget", "0.5",
+                "--queries", "4",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "avg rel err" in captured
+        assert "4 random workload queries" in captured
