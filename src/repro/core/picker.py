@@ -192,7 +192,13 @@ class PS3Picker:
             cap = int(np.floor(self.config.outlier_budget_fraction * budget))
             outliers = candidates[:cap]
         selection = [WeightedChoice(int(p), 1.0) for p in outliers]
-        inliers = np.setdiff1d(passing, outliers, assume_unique=False)
+        # Both arrays are already unique (`passing` is sorted indices from
+        # flatnonzero, outliers are distinct partition ids), so skip the
+        # sort/uniquify pass np.setdiff1d would redo on every select().
+        if outliers.size:
+            inliers = passing[~np.isin(passing, outliers, assume_unique=True)]
+        else:
+            inliers = passing
         remaining = budget - outliers.size
 
         # Step 2: importance funnel.

@@ -91,8 +91,11 @@ def compute_training_data(
 ) -> TrainingData:
     """Features, answers, and contributions for a set of queries.
 
-    The normalized matrices are filled in by :func:`train_picker_model`
-    once the normalizer has been fitted.
+    Featurization runs on the builder's vectorized plan path (one batch
+    evaluation per query instead of an O(partitions) estimator loop), so
+    the exact per-partition answers dominate this step's cost. The
+    normalized matrices are filled in by :func:`train_picker_model` once
+    the normalizer has been fitted.
     """
     features: list[np.ndarray] = []
     answers: list[list[ComponentAnswer]] = []

@@ -18,6 +18,10 @@ All sketches are constructed in one pass per partition, support ``merge``
 (bulk-append stores seal partitions independently, and global heavy hitters
 are built by merging per-partition sketches), and serialize to bytes so
 storage overhead (paper Table 4) is measured on real encodings.
+
+:class:`~repro.sketches.columnar.ColumnarSketchIndex` re-exports the
+per-partition sketch state in struct-of-arrays form so the feature plane
+can evaluate predicates across all partitions with array passes.
 """
 
 from repro.sketches.akmv import AKMVSketch
@@ -29,6 +33,7 @@ from repro.sketches.builder import (
     build_dataset_statistics,
     build_partition_statistics,
 )
+from repro.sketches.columnar import ColumnarSketchIndex
 from repro.sketches.exact_dict import ExactDictionary
 from repro.sketches.heavy_hitter import HeavyHitterSketch
 from repro.sketches.histogram import EquiDepthHistogram
@@ -36,6 +41,7 @@ from repro.sketches.measures import MeasuresSketch
 
 __all__ = [
     "AKMVSketch",
+    "ColumnarSketchIndex",
     "ColumnStatistics",
     "DatasetStatistics",
     "EquiDepthHistogram",

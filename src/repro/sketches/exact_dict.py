@@ -26,6 +26,11 @@ class ExactDictionary:
     total: int = 0
     counts: dict[str, int] = field(default_factory=dict)
     overflowed: bool = False
+    # Memoized value -> fraction table: rebuilt lazily after update/merge,
+    # shared by the per-clause estimators and the columnar exporter.
+    _fraction_cache: dict[str, float] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.limit < 1:
@@ -41,6 +46,7 @@ class ExactDictionary:
         values = np.asarray(values)
         if values.size == 0:
             return
+        self._fraction_cache = None
         self.total += int(values.size)
         if self.overflowed:
             return
@@ -52,6 +58,7 @@ class ExactDictionary:
             self.overflowed = True
 
     def merge(self, other: ExactDictionary) -> None:
+        self._fraction_cache = None
         self.total += other.total
         if self.overflowed or other.overflowed:
             self.counts.clear()
@@ -69,11 +76,21 @@ class ExactDictionary:
     def usable(self) -> bool:
         return not self.overflowed
 
+    def fractions(self) -> dict[str, float]:
+        """Exact value -> fraction-of-rows table (empty when unusable)."""
+        if not self.usable or self.total == 0:
+            return {}
+        if self._fraction_cache is None:
+            self._fraction_cache = {
+                value: count / self.total for value, count in self.counts.items()
+            }
+        return self._fraction_cache
+
     def fraction_eq(self, value: str) -> float:
         """Exact fraction of rows equal to ``value`` (0 when unusable)."""
         if not self.usable or self.total == 0:
             return 0.0
-        return self.counts.get(value, 0) / self.total
+        return self.fractions().get(value, 0.0)
 
     def fraction_in(self, values) -> float:
         if not self.usable or self.total == 0:

@@ -45,6 +45,15 @@ class HeavyHitterSketch:
     total: int = 0
     _entries: dict[object, _Entry] = field(default_factory=dict, repr=False)
     _bucket: int = 1
+    # Memoized results: items()/frequencies() are re-read by the per-clause
+    # estimators and the columnar exporter; the dicts only change on
+    # update/merge, so they are cached until the next mutation.
+    _items_cache: dict[object, float] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _freq_cache: dict[object, float] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 < self.support < 1.0:
@@ -82,6 +91,7 @@ class HeavyHitterSketch:
             start = stop
 
     def _update_block(self, values: np.ndarray) -> None:
+        self._invalidate()
         uniques, counts = np.unique(values, return_counts=True)
         for value, count in zip(uniques, counts):
             key = value.item() if hasattr(value, "item") else value
@@ -112,6 +122,7 @@ class HeavyHitterSketch:
         Used to assemble *global* heavy hitters for a column by combining
         per-partition sketches (paper section 3.2, occurrence bitmaps).
         """
+        self._invalidate()
         for key, entry in other._entries.items():
             mine = self._entries.get(key)
             if mine is None:
@@ -125,22 +136,32 @@ class HeavyHitterSketch:
 
     # -- results -------------------------------------------------------------
 
+    def _invalidate(self) -> None:
+        self._items_cache = None
+        self._freq_cache = None
+
     def items(self) -> dict[object, float]:
         """Heavy hitters: value -> estimated count, at the support level."""
         if self.total == 0:
             return {}
-        cutoff = (self.support - self.epsilon) * self.total
-        return {
-            key: entry.count
-            for key, entry in self._entries.items()
-            if entry.count >= cutoff
-        }
+        if self._items_cache is None:
+            cutoff = (self.support - self.epsilon) * self.total
+            self._items_cache = {
+                key: entry.count
+                for key, entry in self._entries.items()
+                if entry.count >= cutoff
+            }
+        return self._items_cache
 
     def frequencies(self) -> dict[object, float]:
         """Heavy hitters: value -> estimated fraction of rows."""
         if self.total == 0:
             return {}
-        return {key: count / self.total for key, count in self.items().items()}
+        if self._freq_cache is None:
+            self._freq_cache = {
+                key: count / self.total for key, count in self.items().items()
+            }
+        return self._freq_cache
 
     def stats(self) -> tuple[float, float, float]:
         """(number of heavy hitters, avg frequency, max frequency)."""

@@ -4,17 +4,24 @@ Turns per-partition sketches into the feature vectors PS3's picker
 consumes: pre-computed per-column statistics (measures, distinct values,
 heavy hitters, occurrence bitmaps) combined at query time with
 query-specific selectivity estimates, under a query-dependent column mask.
+
+Selectivity features have two implementations: the scalar per-partition
+:func:`estimate_selectivity` (the reference oracle) and the vectorized
+:class:`PredicatePlan`, which compiles a predicate once and evaluates it
+across all partitions against the columnar sketch index.
 """
 
 from repro.stats.bitmap import occurrence_bitmaps
 from repro.stats.features import FeatureBuilder, FeatureSchema, QueryFeatures
 from repro.stats.normalization import Normalizer
+from repro.stats.plan import PredicatePlan
 from repro.stats.selectivity import SelectivityEstimate, estimate_selectivity
 
 __all__ = [
     "FeatureBuilder",
     "FeatureSchema",
     "Normalizer",
+    "PredicatePlan",
     "QueryFeatures",
     "SelectivityEstimate",
     "estimate_selectivity",

@@ -15,6 +15,13 @@ shares the same layout:
 At query time a column mask is applied: statistic blocks of columns the
 query does not reference are zeroed, and bitmap blocks are only live for
 the query's actual group-by columns (section 3.2).
+
+The builder is backed by a :class:`ColumnarSketchIndex`: the static block
+is assembled from per-column array stacks rather than per-partition
+Python calls, and selectivity features come from a compiled
+:class:`~repro.stats.plan.PredicatePlan` evaluated across all partitions
+at once. The scalar :func:`estimate_selectivity` loop remains available
+(``vectorized=False``) as the reference oracle.
 """
 
 from __future__ import annotations
@@ -23,10 +30,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.predicates import Predicate
 from repro.engine.query import Query
 from repro.errors import ConfigError
 from repro.sketches.builder import ColumnStatistics, DatasetStatistics
-from repro.stats.bitmap import occurrence_bitmaps
+from repro.sketches.columnar import (
+    NUM_COLUMN_STATS,
+    ColumnarSketchIndex,
+    column_stat_vector,
+)
+from repro.stats.plan import PredicatePlan
 from repro.stats.selectivity import estimate_selectivity
 
 #: (stat key, category, family) — families follow Appendix B.1's feature
@@ -61,6 +74,13 @@ SELECTIVITY_SPECS: tuple[tuple[str, str, str], ...] = (
 
 NUM_STATS = len(STAT_SPECS)
 NUM_SELECTIVITY = len(SELECTIVITY_SPECS)
+
+# The columnar exporter owns the numeric extraction of the statistic
+# block; the two layouts must stay in lockstep.
+assert NUM_STATS == NUM_COLUMN_STATS
+
+#: Cap on memoized compiled predicate plans per builder.
+_PLAN_CACHE_LIMIT = 256
 
 
 @dataclass(frozen=True)
@@ -152,31 +172,7 @@ class FeatureSchema:
 
 def _stat_vector(cstats: ColumnStatistics) -> np.ndarray:
     """The 17 per-column statistics of one partition (Table 2)."""
-    out = np.zeros(NUM_STATS, dtype=np.float64)
-    measures = cstats.measures
-    if measures is not None:
-        out[0] = measures.mean
-        out[1] = measures.mean_sq
-        out[2] = measures.std
-        out[3] = measures.min_value()
-        out[4] = measures.max_value()
-        out[5] = measures.log_mean
-        out[6] = measures.log_mean_sq
-        out[7] = measures.log_min_value()
-        out[8] = measures.log_max_value()
-    if cstats.akmv is not None:
-        avg, mx, mn, total = cstats.akmv.freq_stats()
-        out[9] = cstats.akmv.distinct_estimate()
-        out[10] = avg
-        out[11] = mx
-        out[12] = mn
-        out[13] = total
-    if cstats.heavy_hitter is not None:
-        count, avg, mx = cstats.heavy_hitter.stats()
-        out[14] = count
-        out[15] = avg
-        out[16] = mx
-    return out
+    return column_stat_vector(cstats)
 
 
 @dataclass
@@ -204,20 +200,24 @@ class QueryFeatures:
 class FeatureBuilder:
     """Builds per-query feature matrices from dataset statistics.
 
-    The static part (per-column statistics and bitmaps) is assembled once;
+    The static part (per-column statistics and bitmaps) is assembled once
+    from the columnar sketch index and extended in place on append;
     ``features_for_query`` applies the query mask and appends fresh
-    selectivity estimates.
+    selectivity estimates from a compiled predicate plan (or the scalar
+    per-partition estimator when ``vectorized`` is off).
     """
 
     def __init__(
         self,
         dataset: DatasetStatistics,
         groupby_columns: tuple[str, ...],
+        vectorized: bool = True,
     ) -> None:
         for name in groupby_columns:
             if name not in dataset.schema:
                 raise ConfigError(f"group-by universe column {name!r} not in schema")
         self.dataset = dataset
+        self.vectorized = vectorized
         widths = {
             name: min(
                 len(dataset.global_heavy_hitters.get(name, ())),
@@ -230,21 +230,29 @@ class FeatureBuilder:
             groupby_columns=tuple(groupby_columns),
             bitmap_widths=widths,
         )
-        self._static = self._build_static()
+        self._index = ColumnarSketchIndex.build(dataset)
+        self._plan_cache: dict[Predicate | None, PredicatePlan] = {}
+        self._static = self._static_rows(0, dataset.num_partitions)
+        # Last partition the index has absorbed: lets refresh() distinguish
+        # pure appends (incremental) from wholesale replacement (rebuild).
+        self._tail = dataset.partitions[-1] if dataset.partitions else None
 
-    def _build_static(self) -> np.ndarray:
-        n = self.dataset.num_partitions
-        static = np.zeros((n, self.schema.selectivity_offset), dtype=np.float64)
+    def _static_rows(self, start: int, stop: int) -> np.ndarray:
+        """Static feature rows for partitions ``[start, stop)``."""
+        static = np.zeros(
+            (stop - start, self.schema.selectivity_offset), dtype=np.float64
+        )
         for name in self.schema.columns:
             block = self.schema.stat_slice(name)
-            for p in range(n):
-                static[p, block] = _stat_vector(self.dataset.column_stats(p, name))
+            static[:, block] = self._index.columns[name].stats[start:stop]
         for name in self.schema.groupby_columns:
             block = self.schema.bitmap_slice(name)
-            if block.stop > block.start:
-                static[:, block] = occurrence_bitmaps(self.dataset, name)[
-                    :, : block.stop - block.start
-                ]
+            width = block.stop - block.start
+            if width:
+                hitters = self.dataset.global_heavy_hitters.get(name, ())[:width]
+                static[:, block] = self._index.columns[name].occurrence_matrix(
+                    hitters, start, stop
+                )
         return static
 
     @property
@@ -252,18 +260,55 @@ class FeatureBuilder:
         """The unmasked static features (read-only view)."""
         return self._static
 
+    @property
+    def sketch_index(self) -> ColumnarSketchIndex:
+        """The columnar sketch index backing the batch paths."""
+        return self._index
+
     def refresh(self) -> None:
-        """Rebuild static features after partitions were appended.
+        """Extend static features after partitions were appended.
 
-        The feature *schema* (including bitmap widths, which derive from
-        the global heavy hitters frozen at construction) stays fixed so
-        trained models remain applicable; only the matrix grows. Retrain
-        when the dataset drifts (see ``PS3.staleness``).
+        Incremental: when the dataset only grew, just the appended
+        partitions' sketches are exported into the columnar index and
+        appended as new static rows; existing rows are never recomputed.
+        If the partition list shrank or was replaced wholesale (the old
+        tail partition is gone), everything is rebuilt from scratch. The
+        feature *schema* (including bitmap widths, which derive from the
+        global heavy hitters frozen at construction) stays fixed so
+        trained models remain applicable. Retrain when the dataset
+        drifts (see ``PS3.staleness``).
         """
-        self._static = self._build_static()
+        n = self.dataset.num_partitions
+        built = self._static.shape[0]
+        appended_only = (
+            n >= built
+            and built > 0
+            and self.dataset.partitions[built - 1] is self._tail
+        )
+        if not appended_only and built > 0:
+            self._index = ColumnarSketchIndex.build(self.dataset)
+            self._static = self._static_rows(0, n)
+        elif n > built:
+            self._index.extend(self.dataset)
+            self._static = np.vstack([self._static, self._static_rows(built, n)])
+        self._tail = self.dataset.partitions[-1] if self.dataset.partitions else None
 
-    def features_for_query(self, query: Query) -> QueryFeatures:
+    def _plan_for(self, predicate: Predicate | None) -> PredicatePlan:
+        """Compiled plan for ``predicate``, memoized per distinct predicate."""
+        plan = self._plan_cache.get(predicate)
+        if plan is None:
+            plan = PredicatePlan.compile(predicate)
+            if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+                self._plan_cache.clear()
+            self._plan_cache[predicate] = plan
+        return plan
+
+    def features_for_query(
+        self, query: Query, vectorized: bool | None = None
+    ) -> QueryFeatures:
         """Masked static features + selectivity estimates for ``query``."""
+        if self._index.num_partitions != self.dataset.num_partitions:
+            self.refresh()  # appends that bypassed refresh()
         n = self.dataset.num_partitions
         matrix = np.zeros((n, self.schema.dimension), dtype=np.float64)
         used = query.columns()
@@ -276,7 +321,15 @@ class FeatureBuilder:
                 block = self.schema.bitmap_slice(name)
                 matrix[:, block] = self._static[:, block]
         sel_block = self.schema.selectivity_slice()
-        for p in range(n):
-            estimate = estimate_selectivity(query.predicate, self.dataset.partitions[p])
-            matrix[p, sel_block] = estimate.as_tuple()
+        use_plan = self.vectorized if vectorized is None else vectorized
+        if use_plan:
+            matrix[:, sel_block] = self._plan_for(query.predicate).evaluate(
+                self._index
+            )
+        else:
+            for p in range(n):
+                estimate = estimate_selectivity(
+                    query.predicate, self.dataset.partitions[p]
+                )
+                matrix[p, sel_block] = estimate.as_tuple()
         return QueryFeatures(schema=self.schema, query=query, matrix=matrix)

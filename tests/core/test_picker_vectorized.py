@@ -1,0 +1,61 @@
+"""End-to-end parity: the picker selects identically under both paths.
+
+The vectorized feature plane must be a pure performance change — with a
+fixed seed, `PS3Picker.select` has to return the same weighted selection
+whether featurization runs through the compiled predicate plan or the
+scalar per-partition estimator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.picker import PickerConfig, PS3Picker
+
+
+@pytest.fixture(scope="module")
+def parity_setup(trained_ps3, tpch_queries):
+    __, test = tpch_queries
+    return trained_ps3.model, trained_ps3.statistics, test
+
+
+def _select(model, statistics, query, budget, vectorized):
+    builder = model.feature_builder
+    previous = builder.vectorized
+    builder.vectorized = vectorized
+    try:
+        picker = PS3Picker(model, statistics, PickerConfig(seed=1234))
+        return picker.select(query, budget)
+    finally:
+        builder.vectorized = previous
+
+
+class TestPickerPathParity:
+    def test_selections_identical_across_paths(self, parity_setup):
+        model, statistics, test = parity_setup
+        budgets = (3, 8, 16)
+        for query in test[:5]:
+            for budget in budgets:
+                fast = _select(model, statistics, query, budget, vectorized=True)
+                slow = _select(model, statistics, query, budget, vectorized=False)
+                assert [c.partition for c in fast.selection] == [
+                    c.partition for c in slow.selection
+                ]
+                np.testing.assert_allclose(
+                    [c.weight for c in fast.selection],
+                    [c.weight for c in slow.selection],
+                    rtol=0.0,
+                    atol=1e-12,
+                )
+                assert fast.outliers == slow.outliers
+                assert fast.group_sizes == slow.group_sizes
+                assert fast.group_budgets == slow.group_budgets
+
+    def test_feature_matrices_identical_across_paths(self, parity_setup):
+        model, __, test = parity_setup
+        builder = model.feature_builder
+        for query in test:
+            fast = builder.features_for_query(query, vectorized=True)
+            slow = builder.features_for_query(query, vectorized=False)
+            np.testing.assert_allclose(
+                fast.matrix, slow.matrix, rtol=0.0, atol=1e-12
+            )
