@@ -31,6 +31,7 @@ from repro.core.training import (
     TrainingData,
     train_picker_model,
 )
+from repro.engine.batch_executor import BatchExecutor, fused_view
 from repro.engine.combiner import FinalAnswer, estimate, finalize_answer
 from repro.engine.executor import (
     compute_partition_answers,
@@ -158,15 +159,29 @@ class PS3:
         query: Query,
         budget_partitions: int | None = None,
         budget_fraction: float | None = None,
+        batched: bool = True,
     ) -> ApproximateAnswer:
-        """Answer ``query`` reading at most the budgeted partitions."""
+        """Answer ``query`` reading at most the budgeted partitions.
+
+        Execution touches only the selected partitions (the online I/O
+        saving) but runs them as one fused batch pass; ``batched=False``
+        falls back to the per-partition scalar oracle (same bits).
+        """
         budget = self._resolve_budget(budget_partitions, budget_fraction)
         selection = self.picker.select(query, budget)
         # Execute only on the selected partitions (the online I/O saving).
+        if batched:
+            answers = BatchExecutor.for_table(self.ptable).partition_answers(
+                query, partitions=[c.partition for c in selection.selection]
+            )
+        else:
+            answers = [
+                execute_on_partition(self.ptable[c.partition], query)
+                for c in selection.selection
+            ]
         combined: dict = {}
-        for choice in selection.selection:
-            partition = self.ptable[choice.partition]
-            for key, vec in execute_on_partition(partition, query).items():
+        for choice, answer in zip(selection.selection, answers):
+            for key, vec in answer.items():
                 acc = combined.get(key)
                 if acc is None:
                     combined[key] = choice.weight * vec
@@ -203,7 +218,11 @@ class PS3:
         from repro.engine.layout import append_rows
         from repro.sketches.builder import append_partition_statistics
 
+        prior_view = getattr(self.ptable, "_fused_view", None)
         self.ptable = append_rows(self.ptable, new_columns)
+        # Carry the fused executor view over incrementally: only the new
+        # partition's row ids are materialized (mirrors the sketch index).
+        fused_view(self.ptable, prior=prior_view)
         partition = self.ptable[self.ptable.num_partitions - 1]
         append_partition_statistics(self.statistics, partition)
         self.feature_builder.refresh()
@@ -248,8 +267,8 @@ class PS3:
 
 
 def answer_with_selection(
-    ptable: PartitionedTable, query: Query, selection
+    ptable: PartitionedTable, query: Query, selection, batched: bool = True
 ) -> FinalAnswer:
     """Weighted answer for an explicit selection (baseline evaluation)."""
-    answers = compute_partition_answers(ptable, query)
+    answers = compute_partition_answers(ptable, query, batched=batched)
     return estimate(query, answers, selection)

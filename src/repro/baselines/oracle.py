@@ -43,7 +43,8 @@ class OraclePicker(PS3Picker):
     ) -> list[np.ndarray]:
         if not self.config.use_regressors:
             return [inliers]
-        answers = compute_partition_answers(self.ptable, query)
+        # Routed through the fused batch executor; the cheat stays exact.
+        answers = compute_partition_answers(self.ptable, query, batched=True)
         contributions = partition_contributions(answers)
         groups: list[np.ndarray] = [inliers]
         for threshold in self.model.thresholds:

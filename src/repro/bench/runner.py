@@ -25,6 +25,7 @@ from repro.core.training import (
     train_picker_model,
 )
 from repro.datasets.registry import get_dataset
+from repro.engine.batch_executor import fused_view
 from repro.engine.combiner import WeightedChoice, estimate
 from repro.engine.executor import ComponentAnswer, compute_partition_answers
 from repro.engine.query import Query
@@ -112,9 +113,9 @@ class ExperimentContext:
         if query.predicate is None:
             selectivity = 1.0
         else:
-            passing = sum(
-                int(query.predicate.mask(p.columns).sum()) for p in self.ptable
-            )
+            # One mask over the fused columns instead of a partition loop.
+            view = fused_view(self.ptable)
+            passing = int(query.predicate.mask(view.columns).sum())
             selectivity = passing / self.ptable.num_rows
         return PreparedQuery(query, answers, truth, selectivity)
 

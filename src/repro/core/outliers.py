@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sketches.builder import DatasetStatistics
-from repro.stats.bitmap import bitmap_signature
+from repro.stats.bitmap import bitmap_signature, signature_matrix
 
 
 @dataclass(frozen=True)
@@ -27,35 +27,73 @@ class OutlierConfig:
     max_relative_size: float = 0.10  # ... and smaller than this x largest
 
 
+def _signature_groups(
+    dataset: DatasetStatistics,
+    columns: tuple[str, ...],
+    candidates: np.ndarray,
+    index,
+) -> list[list[int]]:
+    """Candidate partitions grouped by identical signature.
+
+    Groups appear in first-appearance order of their signature among the
+    candidates, members in candidate order — matching the dict-insertion
+    semantics of the scalar loop. With a columnar sketch ``index`` the
+    signatures come from one vectorized ``occurrence_matrix`` pass; the
+    per-partition :func:`bitmap_signature` loop remains the reference
+    path when no index is supplied.
+    """
+    if index is None:
+        groups: dict[tuple, list[int]] = {}
+        for partition in candidates:
+            signature = bitmap_signature(dataset, int(partition), columns)
+            groups.setdefault(signature, []).append(int(partition))
+        return list(groups.values())
+
+    matrix = signature_matrix(dataset, columns, index)[candidates]
+    __, first, inverse = np.unique(
+        matrix, axis=0, return_index=True, return_inverse=True
+    )
+    # np.unique orders signatures lexicographically; re-rank them by
+    # first appearance so grouping matches the dict-based reference.
+    order = np.argsort(first, kind="stable")
+    rank = np.empty_like(order)
+    rank[order] = np.arange(order.size)
+    codes = rank[np.ravel(inverse)]
+    return [
+        [int(p) for p in candidates[codes == code]]
+        for code in range(order.size)
+    ]
+
+
 def find_outliers(
     dataset: DatasetStatistics,
     group_by: tuple[str, ...],
     candidates: np.ndarray,
     config: OutlierConfig | None = None,
+    index=None,
 ) -> np.ndarray:
     """Outlier partition ids among ``candidates`` for a GROUP BY columnset.
 
     Queries without a GROUP BY have no rare-group notion: returns empty.
     Outliers are ordered rarest-signature-first so a capped budget keeps
-    the most unusual partitions.
+    the most unusual partitions. ``index`` (a
+    :class:`~repro.sketches.columnar.ColumnarSketchIndex`) batches the
+    signature computation; without it the scalar bitmap loop runs.
     """
     config = config or OutlierConfig()
     columns = tuple(c for c in group_by if dataset.global_heavy_hitters.get(c))
     if not columns or candidates.size == 0:
         return np.empty(0, dtype=np.intp)
 
-    signature_groups: dict[tuple, list[int]] = {}
-    for partition in candidates:
-        signature = bitmap_signature(dataset, int(partition), columns)
-        signature_groups.setdefault(signature, []).append(int(partition))
+    signature_groups = _signature_groups(dataset, columns, candidates, index)
 
-    largest = max(len(group) for group in signature_groups.values())
+    largest = max(len(group) for group in signature_groups)
     threshold = min(
         config.max_absolute_size, config.max_relative_size * largest
     )
     outlying = [
         group
-        for group in signature_groups.values()
+        for group in signature_groups
         if len(group) < threshold
     ]
     outlying.sort(key=len)  # rarest signatures first

@@ -184,8 +184,14 @@ class PS3Picker:
         # Step 1: outliers (weight 1 each, up to 10% of the budget).
         outliers: np.ndarray = np.empty(0, dtype=np.intp)
         if self.config.use_outliers and query.group_by:
+            # The builder's columnar sketch index batches the signature
+            # grouping — the last per-partition loop on the select path.
             candidates = find_outliers(
-                self.dataset, query.group_by, passing, OutlierConfig()
+                self.dataset,
+                query.group_by,
+                passing,
+                OutlierConfig(),
+                index=self.model.feature_builder.sketch_index,
             )
             # "Up to 10% of the sampling budget" (section 4.4): floor, so
             # tiny budgets are not halved by a single outlier read.

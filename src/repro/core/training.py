@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.core.contribution import partition_contributions
 from repro.core.labels import exponential_thresholds, labels_for_query
-from repro.engine.executor import ComponentAnswer, compute_partition_answers
+from repro.engine.batch_executor import BatchExecutor
+from repro.engine.executor import ComponentAnswer, execute_on_partition
 from repro.engine.query import Query
 from repro.engine.table import PartitionedTable
 from repro.errors import ConfigError
@@ -88,21 +89,29 @@ def compute_training_data(
     ptable: PartitionedTable,
     feature_builder: FeatureBuilder,
     queries: list[Query],
+    batched: bool = True,
 ) -> TrainingData:
     """Features, answers, and contributions for a set of queries.
 
     Featurization runs on the builder's vectorized plan path (one batch
-    evaluation per query instead of an O(partitions) estimator loop), so
-    the exact per-partition answers dominate this step's cost. The
-    normalized matrices are filled in by :func:`train_picker_model` once
-    the normalizer has been fitted.
+    evaluation per query instead of an O(partitions) estimator loop), and
+    the exact per-partition answers — the remaining dominant cost — run
+    through the :class:`BatchExecutor`'s fused one-pass path, which is
+    bit-for-bit equal to the scalar loop. ``batched=False`` keeps the
+    per-partition ``execute_on_partition`` loop as the reference oracle.
+    The normalized matrices are filled in by :func:`train_picker_model`
+    once the normalizer has been fitted.
     """
+    executor = BatchExecutor.for_table(ptable) if batched else None
     features: list[np.ndarray] = []
     answers: list[list[ComponentAnswer]] = []
     contributions: list[np.ndarray] = []
     for query in queries:
         query_features = feature_builder.features_for_query(query)
-        partition_answers = compute_partition_answers(ptable, query)
+        if executor is not None:
+            partition_answers = executor.partition_answers(query)
+        else:
+            partition_answers = [execute_on_partition(p, query) for p in ptable]
         features.append(query_features.matrix)
         answers.append(partition_answers)
         contributions.append(partition_contributions(partition_answers))
@@ -120,13 +129,18 @@ def train_picker_model(
     feature_builder: FeatureBuilder,
     train_queries: list[Query],
     config: TrainingConfig | None = None,
+    batched: bool = True,
 ) -> tuple[PickerModel, TrainingData]:
-    """Fit the normalizer and the k-regressor funnel on a training workload."""
+    """Fit the normalizer and the k-regressor funnel on a training workload.
+
+    ``batched`` selects the answer-computation path (fused batch executor
+    vs the scalar reference oracle); both produce bit-identical models.
+    """
     config = config or TrainingConfig()
     if not train_queries:
         raise ConfigError("training requires at least one query")
 
-    data = compute_training_data(ptable, feature_builder, train_queries)
+    data = compute_training_data(ptable, feature_builder, train_queries, batched)
     normalizer = Normalizer(feature_builder.schema)
     data.normalized = normalizer.fit_transform(data.features)
 

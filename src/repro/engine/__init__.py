@@ -13,6 +13,7 @@ weights.
 """
 
 from repro.engine.aggregates import AggFunc, Aggregate
+from repro.engine.batch_executor import BatchExecutor, FusedTableView, fused_view
 from repro.engine.combiner import WeightedChoice, combine_answers, finalize_answer
 from repro.engine.executor import execute_on_partition, execute_on_table, true_answer
 from repro.engine.expressions import BinOp, ColumnRef, Const, Expression
@@ -34,6 +35,7 @@ __all__ = [
     "AggFunc",
     "Aggregate",
     "And",
+    "BatchExecutor",
     "BinOp",
     "Column",
     "ColumnKind",
@@ -42,6 +44,7 @@ __all__ = [
     "Const",
     "Contains",
     "Expression",
+    "FusedTableView",
     "InSet",
     "Not",
     "Or",
@@ -56,6 +59,7 @@ __all__ = [
     "execute_on_partition",
     "execute_on_table",
     "finalize_answer",
+    "fused_view",
     "partition_evenly",
     "shuffle_table",
     "sort_table",

@@ -33,13 +33,9 @@ import numpy as np
 from repro.engine.predicates import Predicate
 from repro.engine.query import Query
 from repro.errors import ConfigError
-from repro.sketches.builder import ColumnStatistics, DatasetStatistics
-from repro.sketches.columnar import (
-    NUM_COLUMN_STATS,
-    ColumnarSketchIndex,
-    column_stat_vector,
-)
-from repro.stats.plan import PredicatePlan
+from repro.sketches.builder import DatasetStatistics
+from repro.sketches.columnar import NUM_COLUMN_STATS, ColumnarSketchIndex
+from repro.stats.plan import SHARED_PLAN_CACHE, PlanCache, PredicatePlan
 from repro.stats.selectivity import estimate_selectivity
 
 #: (stat key, category, family) — families follow Appendix B.1's feature
@@ -78,10 +74,6 @@ NUM_SELECTIVITY = len(SELECTIVITY_SPECS)
 # The columnar exporter owns the numeric extraction of the statistic
 # block; the two layouts must stay in lockstep.
 assert NUM_STATS == NUM_COLUMN_STATS
-
-#: Cap on memoized compiled predicate plans per builder.
-_PLAN_CACHE_LIMIT = 256
-
 
 @dataclass(frozen=True)
 class FeatureInfo:
@@ -170,11 +162,6 @@ class FeatureSchema:
         return slice(self.selectivity_offset, self.selectivity_offset + NUM_SELECTIVITY)
 
 
-def _stat_vector(cstats: ColumnStatistics) -> np.ndarray:
-    """The 17 per-column statistics of one partition (Table 2)."""
-    return column_stat_vector(cstats)
-
-
 @dataclass
 class QueryFeatures:
     """The feature matrix F (N x M) for one query, plus conveniences."""
@@ -212,12 +199,17 @@ class FeatureBuilder:
         dataset: DatasetStatistics,
         groupby_columns: tuple[str, ...],
         vectorized: bool = True,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         for name in groupby_columns:
             if name not in dataset.schema:
                 raise ConfigError(f"group-by universe column {name!r} not in schema")
         self.dataset = dataset
         self.vectorized = vectorized
+        # Plans are dataset-independent, so builders share one process-wide
+        # cache by default: baselines re-featurizing the same workload hit
+        # instead of recompiling. Pass a private PlanCache to isolate.
+        self.plan_cache = plan_cache if plan_cache is not None else SHARED_PLAN_CACHE
         widths = {
             name: min(
                 len(dataset.global_heavy_hitters.get(name, ())),
@@ -231,7 +223,6 @@ class FeatureBuilder:
             bitmap_widths=widths,
         )
         self._index = ColumnarSketchIndex.build(dataset)
-        self._plan_cache: dict[Predicate | None, PredicatePlan] = {}
         self._static = self._static_rows(0, dataset.num_partitions)
         # Last partition the index has absorbed: lets refresh() distinguish
         # pure appends (incremental) from wholesale replacement (rebuild).
@@ -294,14 +285,8 @@ class FeatureBuilder:
         self._tail = self.dataset.partitions[-1] if self.dataset.partitions else None
 
     def _plan_for(self, predicate: Predicate | None) -> PredicatePlan:
-        """Compiled plan for ``predicate``, memoized per distinct predicate."""
-        plan = self._plan_cache.get(predicate)
-        if plan is None:
-            plan = PredicatePlan.compile(predicate)
-            if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
-                self._plan_cache.clear()
-            self._plan_cache[predicate] = plan
-        return plan
+        """Compiled plan for ``predicate``, memoized in the shared cache."""
+        return self.plan_cache.get(predicate)
 
     def features_for_query(
         self, query: Query, vectorized: bool | None = None

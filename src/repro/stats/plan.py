@@ -292,6 +292,47 @@ class PredicatePlan:
         )
 
 
+class PlanCache:
+    """Memo of compiled predicate plans with hit/miss accounting.
+
+    Compilation depends only on the predicate — evaluation binds to a
+    :class:`ColumnarSketchIndex` at call time — so one cache can be
+    shared across every :class:`~repro.stats.features.FeatureBuilder`
+    in the process (baselines build their own builders over the same
+    workload and would otherwise recompile identical predicates).
+    ``hits``/``misses`` make the reuse observable.
+    """
+
+    def __init__(self, limit: int = 256) -> None:
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self._plans: dict[Predicate | None, PredicatePlan] = {}
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def get(self, predicate: Predicate | None) -> PredicatePlan:
+        """The compiled plan for ``predicate``, compiling on first sight."""
+        plan = self._plans.get(predicate)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = PredicatePlan.compile(predicate)
+        if len(self._plans) >= self.limit:
+            self._plans.clear()
+        self._plans[predicate] = plan
+        return plan
+
+
+#: Process-wide default cache, shared by all feature builders.
+SHARED_PLAN_CACHE = PlanCache()
+
+
 def _compile_node(node: Predicate, ops: list) -> None:
     if isinstance(node, Not):
         _compile_node(node.child, ops)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.outliers import OutlierConfig, find_outliers
 from repro.sketches.builder import build_dataset_statistics
+from repro.sketches.columnar import ColumnarSketchIndex
 from repro.engine.layout import partition_evenly
 from repro.engine.schema import Column, ColumnKind, Schema
 from repro.engine.table import Table
@@ -76,3 +77,41 @@ class TestThresholds:
         __, stats = skewed_dataset
         stats.global_heavy_hitters["v"] = ()
         assert find_outliers(stats, ("v",), np.arange(24)).size == 0
+
+
+class TestIndexParity:
+    """The occurrence-matrix path must match the scalar bitmap loop."""
+
+    @pytest.fixture(scope="class")
+    def index(self, skewed_dataset):
+        __, stats = skewed_dataset
+        return ColumnarSketchIndex.build(stats)
+
+    def test_same_outliers_and_order(self, skewed_dataset, index):
+        __, stats = skewed_dataset
+        candidates = np.arange(24)
+        scalar = find_outliers(stats, ("g",), candidates)
+        batched = find_outliers(stats, ("g",), candidates, index=index)
+        np.testing.assert_array_equal(batched, scalar)
+        assert set(batched.tolist()) == {5, 17}
+
+    def test_parity_over_candidate_subsets(self, skewed_dataset, index):
+        __, stats = skewed_dataset
+        rng = np.random.default_rng(3)
+        for __unused in range(10):
+            size = int(rng.integers(1, 24))
+            candidates = np.sort(rng.choice(24, size=size, replace=False))
+            scalar = find_outliers(stats, ("g",), candidates)
+            batched = find_outliers(stats, ("g",), candidates, index=index)
+            np.testing.assert_array_equal(batched, scalar)
+
+    def test_parity_under_custom_thresholds(self, skewed_dataset, index):
+        __, stats = skewed_dataset
+        for config in (
+            OutlierConfig(max_absolute_size=2, max_relative_size=0.5),
+            OutlierConfig(max_absolute_size=10, max_relative_size=0.01),
+            OutlierConfig(max_absolute_size=30, max_relative_size=1.5),
+        ):
+            scalar = find_outliers(stats, ("g",), np.arange(24), config)
+            batched = find_outliers(stats, ("g",), np.arange(24), config, index=index)
+            np.testing.assert_array_equal(batched, scalar)

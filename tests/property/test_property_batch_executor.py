@@ -1,0 +1,196 @@
+"""Property tests: batch executor == scalar executor, bit for bit.
+
+The batch path must be a drop-in for the scalar per-partition loop at
+full floating-point identity — same group keys, in the same order, with
+byte-identical component vectors — for arbitrary tables, partitionings,
+predicate trees, multi-column group-bys, and SUM/COUNT/AVG mixes,
+including all-filtered partitions and partitions whose every row
+survives. A final end-to-end check trains the picker under both paths
+and requires identical selections.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.picker import PickerConfig, PS3Picker
+from repro.core.training import TrainingConfig, train_picker_model
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.executor import compute_partition_answers
+from repro.engine.expressions import col
+from repro.engine.layout import partition_evenly
+from repro.engine.predicates import And, Comparison, Contains, InSet, Not, Or
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+
+SCHEMA = Schema.of(
+    Column("v", ColumnKind.NUMERIC),
+    Column("w", ColumnKind.NUMERIC),
+    Column("t", ColumnKind.DATE),
+    Column("g", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("s", ColumnKind.CATEGORICAL),
+)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(4, 150))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    return Table(
+        SCHEMA,
+        {
+            "v": rng.normal(0, 100, n).round(2),
+            "w": rng.exponential(10, n).round(2),
+            "t": rng.integers(0, 30, n),
+            "g": rng.choice(["a", "b", "c", "d", "e"], n),
+            "s": rng.choice([f"s{i:02d}" for i in range(12)], n),
+        },
+    )
+
+
+def _leaves():
+    return st.sampled_from(
+        [
+            Comparison("v", ">", 0.0),
+            Comparison("v", "<=", 25.0),
+            Comparison("w", "<", 10.0),
+            Comparison("t", ">=", 10.0),
+            Comparison("t", "==", 7.0),
+            InSet("g", {"a", "c"}),
+            InSet("g", {"e"}),
+            Contains("s", "s0"),
+            Contains("s", "1"),
+        ]
+    )
+
+
+@st.composite
+def predicates(draw):
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        return draw(_leaves())
+    children = draw(st.lists(_leaves(), min_size=1, max_size=3))
+    if shape == 1:
+        return And(children)
+    if shape == 2:
+        return Or(children)
+    return Not(draw(_leaves()))
+
+
+@st.composite
+def queries(draw):
+    aggregates = draw(
+        st.lists(
+            st.sampled_from(
+                [
+                    sum_of(col("v")),
+                    sum_of(col("w")),
+                    avg_of(col("w")),
+                    avg_of(col("v")),
+                    count_star(),
+                    sum_of(col("v") + col("w")),
+                    sum_of(col("v") * 2.0 - 1.0),
+                ]
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    predicate = draw(st.one_of(st.none(), predicates()))
+    group_by = draw(
+        st.sampled_from(
+            [(), ("g",), ("t",), ("g", "t"), ("t", "g"), ("v",), ("g", "s", "t")]
+        )
+    )
+    return Query(aggregates, predicate, group_by)
+
+
+def assert_bitwise_equal(batch, scalar):
+    """Same per-partition dicts: key order and vector bytes identical."""
+    assert len(batch) == len(scalar)
+    for b, s in zip(batch, scalar):
+        assert list(b.keys()) == list(s.keys())
+        for key in s:
+            assert b[key].tobytes() == s[key].tobytes(), (key, b[key], s[key])
+
+
+@pytest.mark.slow
+class TestBatchScalarParity:
+    @given(tables(), queries(), st.integers(1, 10))
+    @settings(max_examples=120, deadline=None)
+    def test_bitwise_parity(self, table, query, num_partitions):
+        num_partitions = min(num_partitions, table.num_rows)
+        ptable = partition_evenly(table, num_partitions)
+        assert_bitwise_equal(
+            compute_partition_answers(ptable, query, batched=True),
+            compute_partition_answers(ptable, query, batched=False),
+        )
+
+    @given(tables(), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_all_rows_filtered(self, table, num_partitions):
+        """A predicate nothing satisfies: every answer dict is empty."""
+        num_partitions = min(num_partitions, table.num_rows)
+        ptable = partition_evenly(table, num_partitions)
+        query = Query(
+            [sum_of(col("v")), count_star()],
+            Comparison("w", "<", -1.0),  # w is exponential: impossible
+            ("g",),
+        )
+        batch = compute_partition_answers(ptable, query, batched=True)
+        assert batch == [{} for __ in range(num_partitions)]
+        assert_bitwise_equal(
+            batch, compute_partition_answers(ptable, query, batched=False)
+        )
+
+    @given(tables(), queries())
+    @settings(max_examples=40, deadline=None)
+    def test_empty_partition_answers(self, table, query):
+        """Partitions whose rows are all filtered out yield empty dicts."""
+        ptable = partition_evenly(table, min(6, table.num_rows))
+        batch = compute_partition_answers(ptable, query, batched=True)
+        scalar = compute_partition_answers(ptable, query, batched=False)
+        assert [not b for b in batch] == [not s for s in scalar]
+        assert_bitwise_equal(batch, scalar)
+
+
+class TestEndToEndPickerParity:
+    """Training on batch vs scalar answers must yield identical pickers."""
+
+    def _train_queries(self):
+        return [
+            Query([sum_of(col("x")), count_star()], Comparison("x", ">", 5.0), ("cat",)),
+            Query([avg_of(col("y"))], InSet("cat", {"a", "b"}), ("cat",)),
+            Query([count_star()], Comparison("d", "<", 50.0), ("d",)),
+            Query([sum_of(col("y"))], Or([Comparison("y", ">", 2.0), InSet("cat", {"c"})])),
+            Query([sum_of(col("x"))], None, ("cat", "d")),
+        ]
+
+    @pytest.mark.slow
+    def test_identical_models_and_selections(
+        self, tiny_ptable, tiny_stats, tiny_feature_builder
+    ):
+        config = TrainingConfig(num_models=3, gbrt_trees=8, seed=2)
+        queries = self._train_queries()
+        batch_model, batch_data = train_picker_model(
+            tiny_ptable, tiny_feature_builder, queries, config, batched=True
+        )
+        scalar_model, scalar_data = train_picker_model(
+            tiny_ptable, tiny_feature_builder, queries, config, batched=False
+        )
+        for ba, sa in zip(batch_data.answers, scalar_data.answers):
+            assert_bitwise_equal(ba, sa)
+        for bc, sc in zip(batch_data.contributions, scalar_data.contributions):
+            assert bc.tobytes() == sc.tobytes()
+        assert batch_model.thresholds.tobytes() == scalar_model.thresholds.tobytes()
+
+        batch_picker = PS3Picker(batch_model, tiny_stats, PickerConfig(seed=0))
+        scalar_picker = PS3Picker(scalar_model, tiny_stats, PickerConfig(seed=0))
+        for query in queries:
+            for budget in (2, 4, 7):
+                assert (
+                    batch_picker.select(query, budget).selection
+                    == scalar_picker.select(query, budget).selection
+                )

@@ -2,7 +2,13 @@
 
 import numpy as np
 
-from repro.stats.bitmap import bitmap_signature, occurrence_bitmap, occurrence_bitmaps
+from repro.sketches.columnar import ColumnarSketchIndex
+from repro.stats.bitmap import (
+    bitmap_signature,
+    occurrence_bitmap,
+    occurrence_bitmaps,
+    signature_matrix,
+)
 
 
 class TestOccurrenceBitmap:
@@ -49,3 +55,21 @@ class TestSignature:
         second = bitmap_signature(tiny_stats, 1, ("cat",))
         assert first == second
         assert hash(first) == hash(second)
+
+
+class TestSignatureMatrix:
+    """The batched matrix must reproduce the scalar loop row for row."""
+
+    def test_rows_match_scalar_signatures(self, tiny_stats):
+        index = ColumnarSketchIndex.build(tiny_stats)
+        for columns in (("cat",), ("tag",), ("cat", "tag"), ("tag", "cat")):
+            matrix = signature_matrix(tiny_stats, columns, index)
+            assert matrix.shape[0] == tiny_stats.num_partitions
+            for p in range(tiny_stats.num_partitions):
+                expected = bitmap_signature(tiny_stats, p, columns)
+                assert tuple(int(b) for b in matrix[p]) == expected
+
+    def test_no_columns_empty_matrix(self, tiny_stats):
+        index = ColumnarSketchIndex.build(tiny_stats)
+        matrix = signature_matrix(tiny_stats, (), index)
+        assert matrix.shape == (tiny_stats.num_partitions, 0)

@@ -1,0 +1,83 @@
+"""Shared compiled-plan cache across FeatureBuilder instances."""
+
+import numpy as np
+
+from repro.engine.aggregates import count_star
+from repro.engine.layout import partition_evenly
+from repro.engine.predicates import And, Comparison, InSet
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.sketches.builder import build_dataset_statistics
+from repro.stats.features import FeatureBuilder
+from repro.stats.plan import SHARED_PLAN_CACHE, PlanCache
+
+PREDICATE = And([Comparison("x", ">", 3.0), InSet("cat", {"a"})])
+
+
+def _other_stats():
+    """A second, differently-shaped dataset sharing the column names."""
+    schema = Schema.of(
+        Column("x", ColumnKind.NUMERIC),
+        Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+    )
+    rng = np.random.default_rng(31)
+    n = 400
+    table = Table(
+        schema,
+        {"x": rng.normal(5.0, 2.0, n), "cat": rng.choice(["a", "b"], n)},
+    )
+    return build_dataset_statistics(partition_evenly(table, 8))
+
+
+class TestPlanCacheSharing:
+    def test_second_builder_hits_instead_of_recompiling(self, tiny_stats):
+        cache = PlanCache()
+        query = Query([count_star()], PREDICATE)
+        first = FeatureBuilder(tiny_stats, ("cat",), plan_cache=cache)
+        first.features_for_query(query)
+        assert cache.misses == 1 and cache.hits == 0
+        # A different builder over the same workload: pure cache hits.
+        second = FeatureBuilder(tiny_stats, ("cat", "d"), plan_cache=cache)
+        second.features_for_query(query)
+        assert cache.misses == 1 and cache.hits == 1
+        second.features_for_query(query)
+        assert cache.misses == 1 and cache.hits == 2
+
+    def test_shared_default_cache(self, tiny_stats):
+        builder = FeatureBuilder(tiny_stats, ("cat",))
+        assert builder.plan_cache is SHARED_PLAN_CACHE
+
+    def test_plans_are_dataset_independent(self, tiny_stats):
+        """One cached plan serves two datasets with correct per-dataset output."""
+        cache = PlanCache()
+        query = Query([count_star()], PREDICATE)
+        tiny_builder = FeatureBuilder(tiny_stats, ("cat",), plan_cache=cache)
+        other_builder = FeatureBuilder(_other_stats(), ("cat",), plan_cache=cache)
+        tiny_vec = tiny_builder.features_for_query(query)
+        other_vec = other_builder.features_for_query(query)
+        assert cache.misses == 1 and cache.hits == 1
+        # Each builder still evaluated against its own sketch index, and
+        # matches its scalar estimator bit for bit.
+        for builder, features in (
+            (tiny_builder, tiny_vec),
+            (other_builder, other_vec),
+        ):
+            scalar = builder.features_for_query(query, vectorized=False)
+            np.testing.assert_array_equal(features.matrix, scalar.matrix)
+
+    def test_cache_eviction_resets_but_keeps_counting(self):
+        cache = PlanCache(limit=2)
+        predicates = [Comparison("x", ">", float(i)) for i in range(4)]
+        for predicate in predicates:
+            cache.get(predicate)
+        assert cache.misses == 4
+        assert len(cache) <= 2
+
+    def test_no_predicate_is_cacheable(self, tiny_stats):
+        cache = PlanCache()
+        builder = FeatureBuilder(tiny_stats, (), plan_cache=cache)
+        query = Query([count_star()])
+        builder.features_for_query(query)
+        builder.features_for_query(query)
+        assert cache.misses == 1 and cache.hits == 1
