@@ -1,0 +1,191 @@
+"""Training answer computation: per-query batch passes vs one workload sweep.
+
+Times the training loop's answer step — exact per-partition answers plus
+contribution scalars for every workload query — under the PR 2 path (one
+``BatchExecutor`` fused pass per query, per-partition ``ComponentAnswer``
+dict scatter, dict-walk ``partition_contributions``) and the workload
+path (one ``WorkloadExecutor`` sweep into an array-backed
+``AnswerMatrix`` with mask/factorization/duplicate sharing, contributions
+read straight off the arrays). The workload is a 36-query training-style
+mix with heavy predicate and group-by overlap, which is what real
+training workloads look like. Emits a text table plus
+``BENCH_perf_workload_executor.json`` under ``benchmarks/results/`` so
+the perf trajectory is tracked across PRs.
+
+Each timed repeat uses a *fresh* ``WorkloadExecutor`` (empty mask and
+factorization caches) so the measured speedup is the one-workload cost a
+single training run pays, not a warm-cache artifact; the fused table
+view is shared by both paths, as in training.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_workload_executor.py
+
+or via pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_workload_executor.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.bench.reporting import emit, format_table, results_dir
+from repro.core.contribution import partition_contributions
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.batch_executor import BatchExecutor
+from repro.engine.expressions import col
+from repro.engine.layout import partition_evenly, sort_table
+from repro.engine.predicates import And, Comparison, Contains, InSet, Not, Or
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.engine.workload_executor import WorkloadExecutor
+
+PARTITION_COUNTS = (64, 256, 1024)
+ROWS_PER_PARTITION = 50
+REPEATS = 5
+
+SCHEMA = Schema.of(
+    Column("x", ColumnKind.NUMERIC, positive=True),
+    Column("y", ColumnKind.NUMERIC),
+    Column("d", ColumnKind.DATE),
+    Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("tag", ColumnKind.CATEGORICAL),
+)
+
+
+def _queries() -> list[Query]:
+    """36 training-style queries with overlapping predicates/group-bys."""
+    range_pred = And([Comparison("x", ">", 2.0), Comparison("d", "<=", 180.0)])
+    tail_pred = Or([Comparison("y", "<", -4.0), Comparison("y", ">", 4.0)])
+    not_pred = Not(And([Comparison("x", ">", 1.0), InSet("cat", {"b"})]))
+    queries: list[Query] = []
+    for group_by in [(), ("cat",), ("d",), ("cat", "d")]:
+        queries.extend(
+            [
+                Query([sum_of(col("x")), count_star()], range_pred, group_by),
+                Query([avg_of(col("y"))], tail_pred, group_by),
+                Query([count_star()], InSet("cat", {"a", "c"}), group_by),
+                Query([sum_of(col("x") + col("y"))], Contains("tag", "t01"), group_by),
+                Query([count_star(), sum_of(col("x"))], not_pred, group_by),
+                Query([sum_of(col("y")), avg_of(col("x"))], None, group_by),
+                Query([sum_of(col("y") * 2.0 - 1.0)], range_pred, group_by),
+                Query([count_star()], tail_pred, group_by),
+                # A literal duplicate: training workloads repeat templates.
+                Query([sum_of(col("x")), count_star()], range_pred, group_by),
+            ]
+        )
+    return queries
+
+
+def _build_ptable(num_partitions: int, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    n = num_partitions * ROWS_PER_PARTITION
+    table = Table(
+        SCHEMA,
+        {
+            "x": rng.exponential(10.0, n) + 1.0,
+            "y": rng.normal(0.0, 5.0, n),
+            "d": rng.integers(0, 365, n),
+            "cat": rng.choice(["a", "b", "c", "dd"], n, p=[0.55, 0.25, 0.15, 0.05]),
+            "tag": rng.choice([f"t{i:03d}" for i in range(200)], n),
+        },
+    )
+    return partition_evenly(sort_table(table, "d"), num_partitions)
+
+
+def _time_batch_path(ptable, queries: list[Query]) -> float:
+    """Best-of-REPEATS seconds: per-query fused pass + dict contributions."""
+    executor = BatchExecutor.for_table(ptable)
+    timings = []
+    for __ in range(REPEATS):
+        started = time.perf_counter()
+        for query in queries:
+            answers = executor.partition_answers(query)
+            partition_contributions(answers)
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def _time_workload_path(ptable, queries: list[Query]) -> float:
+    """Best-of-REPEATS seconds: one sweep + array contributions.
+
+    A fresh executor per repeat so each run pays full (cold-cache)
+    workload cost — only the fused view is shared, as in training.
+    """
+    timings = []
+    for __ in range(REPEATS):
+        started = time.perf_counter()
+        executor = WorkloadExecutor(ptable)
+        matrix = executor.answer_matrix(queries)
+        for qi in range(len(queries)):
+            matrix.contributions(qi)
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def run() -> dict:
+    queries = _queries()
+    rows = []
+    for num_partitions in PARTITION_COUNTS:
+        ptable = _build_ptable(num_partitions)
+        # Warm both paths (fused-view build, allocator) so the timed runs
+        # measure steady-state answer computation.
+        _time_workload_path(ptable, queries)
+        batch_s = _time_batch_path(ptable, queries)
+        workload_s = _time_workload_path(ptable, queries)
+        rows.append(
+            {
+                "partitions": num_partitions,
+                "queries": len(queries),
+                "batch_ms": batch_s * 1e3,
+                "workload_ms": workload_s * 1e3,
+                "speedup": batch_s / workload_s,
+            }
+        )
+    report = {
+        "benchmark": "perf_workload_executor",
+        "rows_per_partition": ROWS_PER_PARTITION,
+        "repeats": REPEATS,
+        "timed_step": "per-partition answers + contributions, whole workload",
+        "results": rows,
+    }
+    (results_dir() / "BENCH_perf_workload_executor.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    emit(
+        "perf_workload_executor",
+        format_table(
+            ["partitions", "batch (ms)", "workload (ms)", "speedup"],
+            [
+                [
+                    r["partitions"],
+                    r["batch_ms"],
+                    r["workload_ms"],
+                    f"{r['speedup']:.1f}x",
+                ]
+                for r in rows
+            ],
+            title=f"Training answer computation, {len(queries)}-query "
+            f"workload (best of {REPEATS})",
+        ),
+    )
+    return report
+
+
+def test_perf_workload_executor():
+    report = run()
+    # The workload sweep must never lose, and must clear the 2x
+    # acceptance bar from 256 partitions up.
+    for row in report["results"]:
+        assert row["speedup"] > 1.0, row
+        if row["partitions"] >= 256:
+            assert row["speedup"] >= 2.0, row
+
+
+if __name__ == "__main__":
+    run()

@@ -12,11 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.contribution import partition_contributions
 from repro.core.picker import PickerConfig, PS3Picker
 from repro.core.training import PickerModel
-from repro.engine.executor import compute_partition_answers
 from repro.engine.query import Query
+from repro.engine.workload_executor import WorkloadExecutor
 from repro.engine.table import PartitionedTable
 from repro.sketches.builder import DatasetStatistics
 
@@ -43,9 +42,12 @@ class OraclePicker(PS3Picker):
     ) -> list[np.ndarray]:
         if not self.config.use_regressors:
             return [inliers]
-        # Routed through the fused batch executor; the cheat stays exact.
-        answers = compute_partition_answers(self.ptable, query, batched=True)
-        contributions = partition_contributions(answers)
+        # Routed through the workload executor's array-backed answers —
+        # the cheat stays exact, with no per-partition dict scatter, and
+        # repeated oracle queries share the executor's mask/factorization
+        # caches.
+        matrix = WorkloadExecutor.for_table(self.ptable).answer_matrix([query])
+        contributions = matrix.contributions(0)
         groups: list[np.ndarray] = [inliers]
         for threshold in self.model.thresholds:
             tail = groups[-1]

@@ -62,18 +62,20 @@ def allocate_samples(
     nonempty = sizes > 0
     if counts.sum() + int((counts[nonempty] == 0).sum()) <= budget:
         counts[nonempty & (counts == 0)] = 1
-    # Distribute the remainder most-important-first.
+    # Distribute the remainder most-important-first: fill each group to
+    # its cap before moving to the next-less-important one. (A round-robin
+    # here would top up tiny low-importance groups past their waterfilled
+    # rate — a size-2 group could saturate at rate 1.0 while more
+    # important groups sit far below it.)
     remainder = budget - int(counts.sum())
     order = np.argsort(-ranks)  # most important group first
-    idx = 0
-    while remainder > 0:
-        g = order[idx % len(order)]
-        if counts[g] < sizes[g]:
-            counts[g] += 1
-            remainder -= 1
-        idx += 1
-        if idx > 10 * len(order) * (budget + 1):  # pragma: no cover
-            raise ConfigError("allocation failed to converge")
+    for g in order:
+        if remainder <= 0:
+            break
+        take = min(remainder, int(sizes[g]) - int(counts[g]))
+        if take > 0:
+            counts[g] += take
+            remainder -= take
     # Floor+minimums can only overshoot via the at-least-one rule; trim
     # least-important-first.
     idx = 0

@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.core.contribution import partition_contributions
 from repro.core.labels import exponential_thresholds, labels_for_query
-from repro.engine.batch_executor import BatchExecutor
 from repro.engine.executor import ComponentAnswer, execute_on_partition
+from repro.engine.workload_executor import WorkloadExecutor
 from repro.engine.query import Query
 from repro.engine.table import PartitionedTable
 from repro.errors import ConfigError
@@ -56,7 +56,9 @@ class TrainingData:
     queries: list[Query]
     features: list[np.ndarray]  # raw feature matrices, one per query
     normalized: list[np.ndarray]  # normalizer-transformed matrices
-    answers: list[list[ComponentAnswer]]  # per-partition answers per query
+    # Per-partition answers per query: plain dict lists on the scalar
+    # path, lazy AnswerMatrix views (same sequence protocol) when batched.
+    answers: list[list[ComponentAnswer]]
     contributions: list[np.ndarray]  # contribution scalars per query
 
 
@@ -94,27 +96,39 @@ def compute_training_data(
     """Features, answers, and contributions for a set of queries.
 
     Featurization runs on the builder's vectorized plan path (one batch
-    evaluation per query instead of an O(partitions) estimator loop), and
-    the exact per-partition answers — the remaining dominant cost — run
-    through the :class:`BatchExecutor`'s fused one-pass path, which is
-    bit-for-bit equal to the scalar loop. ``batched=False`` keeps the
-    per-partition ``execute_on_partition`` loop as the reference oracle.
-    The normalized matrices are filled in by :func:`train_picker_model`
-    once the normalizer has been fitted.
+    evaluation per query instead of an O(partitions) estimator loop).
+    The exact answers — the remaining dominant cost — run through the
+    :class:`~repro.engine.workload_executor.WorkloadExecutor`: the whole
+    workload is answered in one sweep (masks, group factorizations, and
+    duplicate queries shared across queries) into an array-backed
+    :class:`~repro.engine.workload_executor.AnswerMatrix`, bit-for-bit
+    equal to the scalar loop. Contributions are read straight off the
+    matrix arrays; ``TrainingData.answers`` holds the matrix's *lazy*
+    per-partition dict views, so the old ``ComponentAnswer`` scatter is
+    only ever paid by consumers that actually index it (LSS sweep,
+    feature selection). ``batched=False`` keeps the per-partition
+    ``execute_on_partition`` loop as the reference oracle. The
+    normalized matrices are filled in by :func:`train_picker_model` once
+    the normalizer has been fitted.
     """
-    executor = BatchExecutor.for_table(ptable) if batched else None
+    matrix = (
+        WorkloadExecutor.for_table(ptable).answer_matrix(queries)
+        if batched
+        else None
+    )
     features: list[np.ndarray] = []
     answers: list[list[ComponentAnswer]] = []
     contributions: list[np.ndarray] = []
-    for query in queries:
+    for qid, query in enumerate(queries):
         query_features = feature_builder.features_for_query(query)
-        if executor is not None:
-            partition_answers = executor.partition_answers(query)
+        features.append(query_features.matrix)
+        if matrix is not None:
+            answers.append(matrix.answers(qid))
+            contributions.append(matrix.contributions(qid))
         else:
             partition_answers = [execute_on_partition(p, query) for p in ptable]
-        features.append(query_features.matrix)
-        answers.append(partition_answers)
-        contributions.append(partition_contributions(partition_answers))
+            answers.append(partition_answers)
+            contributions.append(partition_contributions(partition_answers))
     return TrainingData(
         queries=list(queries),
         features=features,

@@ -30,11 +30,17 @@ from repro.engine.predicates import (
 from repro.engine.query import Query
 from repro.engine.schema import Column, ColumnKind, Schema
 from repro.engine.table import Partition, PartitionedTable, Table
+from repro.engine.workload_executor import (
+    AnswerMatrix,
+    WorkloadExecutor,
+    compute_workload_answers,
+)
 
 __all__ = [
     "AggFunc",
     "Aggregate",
     "And",
+    "AnswerMatrix",
     "BatchExecutor",
     "BinOp",
     "Column",
@@ -55,7 +61,9 @@ __all__ = [
     "Schema",
     "Table",
     "WeightedChoice",
+    "WorkloadExecutor",
     "combine_answers",
+    "compute_workload_answers",
     "execute_on_partition",
     "execute_on_table",
     "finalize_answer",

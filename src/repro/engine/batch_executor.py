@@ -72,6 +72,43 @@ from repro.engine.table import PartitionedTable
 _DENSE_GRID_FACTOR = 8
 
 
+def reduce_live_segments(
+    seg: np.ndarray,
+    num_segments: int,
+    num_rows: int,
+    component_values: list[np.ndarray | None],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Segmented reduction over occupied (partition, group) segments.
+
+    ``seg`` assigns each row its segment id (partition-major), and
+    ``component_values`` holds one ``(num_rows,)`` float64 vector per
+    component slot (``None`` for COUNT slots). Returns ``(live,
+    seg_counts, totals)``: the sorted occupied segment ids, their row
+    counts, and a ``(len(live), num_components)`` totals matrix. Shared
+    by :class:`BatchExecutor` and the workload executor so both paths
+    accumulate every segment with the same ``np.bincount`` addition
+    chain. When the segment grid would dwarf the row count the ids are
+    compacted first so the reduction buffers stay O(rows).
+    """
+    compacted = num_segments > max(1024, _DENSE_GRID_FACTOR * num_rows)
+    if compacted:
+        live, seg = np.unique(seg, return_inverse=True)
+        num_segments = int(live.size)
+        seg_counts = np.bincount(seg, minlength=num_segments)
+    else:
+        seg_counts = np.bincount(seg, minlength=num_segments)
+        live = np.flatnonzero(seg_counts)
+        seg_counts = seg_counts[live]
+    totals = np.zeros((live.size, len(component_values)), dtype=np.float64)
+    for slot, values in enumerate(component_values):
+        if values is None:  # COUNT(*) slot
+            totals[:, slot] = seg_counts
+            continue
+        sums = np.bincount(seg, weights=values, minlength=num_segments)
+        totals[:, slot] = sums if compacted else sums[live]
+    return live, seg_counts, totals
+
+
 @dataclass
 class FusedTableView:
     """Concatenated-column view of a partitioned table.
@@ -266,29 +303,18 @@ class BatchExecutor:
         keys, gids = _group_ids(columns, query.group_by)
         g = len(keys)
         seg = part_ids * g + gids  # segment id: partition-major, group-minor
-        num_segments = n * g
-        compacted = num_segments > max(1024, _DENSE_GRID_FACTOR * num_rows)
-        if compacted:
-            # Sparse grid (high-cardinality group-by): compact segment ids
-            # first so the reduction buffers stay O(rows), not O(n*g).
-            live, seg = np.unique(seg, return_inverse=True)
-            num_segments = int(live.size)
-            seg_counts = np.bincount(seg, minlength=num_segments)
-        else:
-            seg_counts = np.bincount(seg, minlength=num_segments)
-            live = np.flatnonzero(seg_counts)
-            seg_counts = seg_counts[live]
-        totals = np.zeros((live.size, query.num_components), dtype=np.float64)
-        for slot, comp in enumerate(query.components):
-            if comp.kind is ComponentKind.COUNT:
-                totals[:, slot] = seg_counts
-                continue
-            values = np.broadcast_to(
+        component_values = [
+            None
+            if comp.kind is ComponentKind.COUNT
+            else np.broadcast_to(
                 np.asarray(comp.expr.evaluate(columns), dtype=np.float64),
                 (num_rows,),
             )
-            sums = np.bincount(seg, weights=values, minlength=num_segments)
-            totals[:, slot] = sums if compacted else sums[live]
+            for comp in query.components
+        ]
+        live, __, totals = reduce_live_segments(
+            seg, n * g, num_rows, component_values
+        )
         # ``live`` is sorted ascending = partition-major, group-ascending —
         # the same per-partition key order the scalar path emits.
         live_parts = live // g

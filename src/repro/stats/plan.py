@@ -301,13 +301,21 @@ class PlanCache:
     in the process (baselines build their own builders over the same
     workload and would otherwise recompile identical predicates).
     ``hits``/``misses`` make the reuse observable.
+
+    The cache itself is generic over what "compiling" means: ``compiler``
+    maps a predicate to the cached artifact and defaults to
+    :meth:`PredicatePlan.compile`. The workload executor
+    (:mod:`repro.engine.workload_executor`) reuses this class with a
+    mask compiler so identical predicates across a multi-query workload
+    are evaluated once, with the same observable hit/miss accounting.
     """
 
-    def __init__(self, limit: int = 256) -> None:
+    def __init__(self, limit: int = 256, compiler=None) -> None:
         self.limit = limit
         self.hits = 0
         self.misses = 0
-        self._plans: dict[Predicate | None, PredicatePlan] = {}
+        self._compiler = compiler if compiler is not None else PredicatePlan.compile
+        self._plans: dict[Predicate | None, object] = {}
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -315,14 +323,14 @@ class PlanCache:
     def clear(self) -> None:
         self._plans.clear()
 
-    def get(self, predicate: Predicate | None) -> PredicatePlan:
+    def get(self, predicate: Predicate | None):
         """The compiled plan for ``predicate``, compiling on first sight."""
         plan = self._plans.get(predicate)
         if plan is not None:
             self.hits += 1
             return plan
         self.misses += 1
-        plan = PredicatePlan.compile(predicate)
+        plan = self._compiler(predicate)
         if len(self._plans) >= self.limit:
             self._plans.clear()
         self._plans[predicate] = plan

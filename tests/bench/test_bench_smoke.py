@@ -1,0 +1,74 @@
+"""Smoke tests: every perf benchmark's main path runs on a tiny table.
+
+The ``benchmarks/bench_perf_*.py`` scripts live outside the test tree,
+so nothing in tier-1 would notice if an executor/feature-plane refactor
+broke their imports or ``run()`` paths until someone tried to reproduce
+the numbers. This suite imports each perf bench from its file path,
+shrinks its scale knobs (one tiny partition count, one repeat), points
+``REPRO_RESULTS_DIR`` at a tmp dir, and runs it end to end — asserting
+the report structure and emitted artifacts, not the speedups (a 3-
+partition table proves nothing about performance; the real bars live in
+the benches' own ``test_perf_*`` functions, run out of band).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+PERF_BENCHES = sorted(BENCH_DIR.glob("bench_perf_*.py"))
+
+#: Scale knobs shared by the perf benches, shrunk to smoke size.
+TINY_KNOBS = {
+    "PARTITION_COUNTS": (3,),
+    "ROWS_PER_PARTITION": 20,
+    "REPEATS": 1,
+}
+
+
+def _load_bench(path: Path):
+    name = f"bench_smoke_{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+def test_perf_benches_exist():
+    """The glob must keep matching; an empty sweep would test nothing."""
+    names = [p.name for p in PERF_BENCHES]
+    assert "bench_perf_feature_plane.py" in names
+    assert "bench_perf_batch_executor.py" in names
+    assert "bench_perf_workload_executor.py" in names
+
+
+@pytest.mark.parametrize("path", PERF_BENCHES, ids=lambda p: p.stem)
+def test_perf_bench_main_path(path, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    module = _load_bench(path)
+    for knob, tiny in TINY_KNOBS.items():
+        assert hasattr(module, knob), (
+            f"{path.name} lost its {knob} knob; update the smoke test "
+            "along with the bench's scale interface"
+        )
+        monkeypatch.setattr(module, knob, tiny)
+    report = module.run()
+    assert report["results"], report
+    for row in report["results"]:
+        assert row["partitions"] == 3
+        assert row["speedup"] > 0.0
+    bench_name = report["benchmark"]
+    json_path = tmp_path / f"BENCH_{bench_name}.json"
+    assert json_path.exists()
+    persisted = json.loads(json_path.read_text())
+    assert persisted["benchmark"] == bench_name
+    assert (tmp_path / f"{bench_name}.txt").exists()

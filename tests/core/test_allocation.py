@@ -57,6 +57,24 @@ class TestDecayBehaviour:
     def test_single_group(self):
         assert allocate_samples([40], budget=7, alpha=2.0) == [7]
 
+    def test_remainder_spill_fills_most_important_first(self):
+        """Regression: hypothesis counterexample (PR 3).
+
+        The remainder loop used to hand out one slot per group
+        round-robin, so the third slot of this case landed on the tiny
+        size-2 group at rank 2 and saturated it at rate 1.0 while the
+        more important size-39 groups sat at ~0.38 — breaking rate
+        monotonicity beyond integer-rounding slack. The spill must fill
+        the most important non-full group to its cap before moving on.
+        """
+        sizes = [36, 41, 2, 39, 39, 2]
+        counts = allocate_samples(sizes, budget=53, alpha=2.0)
+        assert sum(counts) == 53
+        rates = [c / s for c, s in zip(counts, sizes)]
+        slack = 1.0 / min(sizes)
+        for less, more in zip(rates, rates[1:]):
+            assert more >= less - slack, (counts, rates)
+
 
 class TestValidation:
     def test_alpha_below_one_rejected(self):

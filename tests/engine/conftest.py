@@ -1,0 +1,92 @@
+"""Shared differential harness for the three execution paths.
+
+Every (query, table) case can be answered three ways — the scalar
+per-partition ``execute_on_partition`` loop (the reference oracle), the
+PR 2 :class:`BatchExecutor` fused single-query pass, and the workload
+executor's :class:`AnswerMatrix` — and all three must agree *bit for
+bit*: same per-partition dicts, same key iteration order, byte-identical
+component vectors. The fixtures here are the single place that contract
+is encoded; executor tests (regression pins, edge cases, workload
+suites) run their cases through ``three_way`` / ``answers_via`` instead
+of hand-rolling pairwise comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.batch_executor import BatchExecutor
+from repro.engine.executor import execute_on_partition
+from repro.engine.workload_executor import WorkloadExecutor
+
+#: Parametrization ids for tests that pin one path at a time.
+EXECUTION_PATHS = ("scalar", "batch", "workload")
+
+
+def _answers_via(path: str, ptable, query):
+    """Per-partition ``ComponentAnswer`` list through one named path."""
+    if path == "scalar":
+        return [execute_on_partition(p, query) for p in ptable]
+    if path == "batch":
+        return BatchExecutor.for_table(ptable).partition_answers(query)
+    if path == "workload":
+        return WorkloadExecutor.for_table(ptable).partition_answers(query)
+    raise ValueError(f"unknown execution path {path!r}")
+
+
+def _assert_answers_bitwise_equal(actual, expected, context: str = ""):
+    """Same per-partition dicts: key order and vector bytes identical."""
+    assert len(actual) == len(expected), context
+    for p, (a, e) in enumerate(zip(actual, expected)):
+        assert list(a.keys()) == list(e.keys()), (context, p)
+        for key in e:
+            assert a[key].tobytes() == e[key].tobytes(), (
+                context,
+                p,
+                key,
+                a[key],
+                e[key],
+            )
+
+
+def _assert_three_way_parity(ptable, queries):
+    """Scalar, batch, and workload answers agree bit for bit.
+
+    ``queries`` is executed as *one* workload through the workload
+    executor (so mask/factorization sharing and duplicate-query dedup
+    are exercised exactly as training uses them) and query by query
+    through the other two paths. Returns the workload ``AnswerMatrix``
+    so callers can make additional assertions on the array views.
+    """
+    queries = list(queries)
+    matrix = WorkloadExecutor.for_table(ptable).answer_matrix(queries)
+    for qi, query in enumerate(queries):
+        scalar = _answers_via("scalar", ptable, query)
+        batch = _answers_via("batch", ptable, query)
+        workload = matrix.answers(qi)
+        label = f"query[{qi}] {query.label()}"
+        _assert_answers_bitwise_equal(
+            batch, scalar, f"batch vs scalar: {label}"
+        )
+        _assert_answers_bitwise_equal(
+            workload, scalar, f"workload vs scalar: {label}"
+        )
+    return matrix
+
+
+@pytest.fixture
+def answers_via():
+    """``answers_via(path, ptable, query)`` for path in EXECUTION_PATHS."""
+    return _answers_via
+
+
+@pytest.fixture
+def assert_bitwise_equal():
+    """``assert_bitwise_equal(actual, expected, context='')``."""
+    return _assert_answers_bitwise_equal
+
+
+@pytest.fixture
+def three_way():
+    """The three-way differential checker (returns the AnswerMatrix)."""
+    return _assert_three_way_parity

@@ -1,18 +1,20 @@
-"""Regression pin: ``compute_partition_answers`` key ordering and values.
+"""Regression pin: per-partition answer key ordering and values.
 
 The answer dicts' *iteration order* is part of the de-facto contract —
 downstream accumulation (`combine_answers`, contributions) walks it, and
-the batch/scalar parity guarantee depends on both paths emitting keys in
+the executor parity guarantee depends on every path emitting keys in
 ascending value-lexicographic order. This test pins the exact keys, their
 order, and the SUM/COUNT totals on a fixed seed so a future executor
-refactor cannot silently reorder group keys or perturb totals.
+refactor cannot silently reorder group keys or perturb totals. The pins
+run through the differential harness's ``answers_via`` against all three
+execution paths — the scalar reference loop, the batch executor, and the
+workload executor.
 """
 
 import numpy as np
 import pytest
 
 from repro.engine.aggregates import avg_of, count_star, sum_of
-from repro.engine.executor import compute_partition_answers
 from repro.engine.expressions import col
 from repro.engine.layout import partition_evenly
 from repro.engine.predicates import Comparison
@@ -95,15 +97,15 @@ def pinned_ptable():
     return partition_evenly(table, 4)
 
 
-@pytest.mark.parametrize("batched", [True, False], ids=["batch", "scalar"])
+@pytest.mark.parametrize("path", ["scalar", "batch", "workload"])
 class TestPinnedAnswers:
-    def test_grouped_keys_order_and_totals(self, pinned_ptable, batched):
+    def test_grouped_keys_order_and_totals(self, pinned_ptable, path, answers_via):
         query = Query(
             [sum_of(col("v")), count_star(), avg_of(col("v"))],
             Comparison("v", ">", 6.0),
             ("g", "t"),
         )
-        answers = compute_partition_answers(pinned_ptable, query, batched=batched)
+        answers = answers_via(path, pinned_ptable, query)
         assert len(answers) == len(PINNED)
         # AVG(v) shares the SUM/COUNT components: exactly 2 slots.
         assert query.num_components == 2
@@ -113,17 +115,17 @@ class TestPinnedAnswers:
                 assert answer[key][0] == total
                 assert answer[key][1] == count
 
-    def test_groupby_date_counts(self, pinned_ptable, batched):
+    def test_groupby_date_counts(self, pinned_ptable, path, answers_via):
         query = Query([count_star()], None, ("t",))
-        answers = compute_partition_answers(pinned_ptable, query, batched=batched)
+        answers = answers_via(path, pinned_ptable, query)
         for answer, expected in zip(answers, PINNED_COUNTS):
             assert list(answer.keys()) == list(expected.keys())
             for key, count in expected.items():
                 assert answer[key][0] == count
 
-    def test_ungrouped_single_key(self, pinned_ptable, batched):
+    def test_ungrouped_single_key(self, pinned_ptable, path, answers_via):
         query = Query([count_star(), sum_of(col("v"))])
-        answers = compute_partition_answers(pinned_ptable, query, batched=batched)
+        answers = answers_via(path, pinned_ptable, query)
         for answer in answers:
             assert list(answer.keys()) == [()]
             assert answer[()][0] == 15.0  # 60 rows over 4 even partitions

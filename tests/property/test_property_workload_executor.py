@@ -1,0 +1,183 @@
+"""Property tests: workload executor == per-query batch executor, bit for bit.
+
+Random multi-query workloads are drawn with *deliberately overlapping*
+predicates and group-bys (leaves and grouping tuples come from small
+pools, so masks, factorizations, and whole queries repeat across the
+workload — exactly the redundancy the executor's sharing exploits). For
+every workload:
+
+* each query's lazy ``AnswerMatrix`` view must equal the per-query
+  :class:`BatchExecutor` answers at full floating-point identity (which
+  PR 2's suite already ties to the scalar oracle);
+* plan/mask/factorization dedup must be *invisible*: answering the
+  workload through one shared executor and answering each query through
+  a fresh executor must give identical bits, regardless of how much
+  sharing the workload triggered;
+* array-path contributions must match the dict-walk reference;
+* duplicate queries must alias equal answers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contribution import partition_contributions
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.batch_executor import BatchExecutor
+from repro.engine.expressions import col
+from repro.engine.layout import partition_evenly
+from repro.engine.predicates import And, Comparison, Contains, InSet, Not, Or
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.engine.workload_executor import WorkloadExecutor
+
+SCHEMA = Schema.of(
+    Column("v", ColumnKind.NUMERIC),
+    Column("w", ColumnKind.NUMERIC),
+    Column("t", ColumnKind.DATE),
+    Column("g", ColumnKind.CATEGORICAL, low_cardinality=True),
+    Column("s", ColumnKind.CATEGORICAL),
+)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(4, 120))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    return Table(
+        SCHEMA,
+        {
+            "v": rng.normal(0, 100, n).round(2),
+            "w": rng.exponential(10, n).round(2),
+            "t": rng.integers(0, 20, n),
+            "g": rng.choice(["a", "b", "c", "d", "e"], n),
+            "s": rng.choice([f"s{i:02d}" for i in range(10)], n),
+        },
+    )
+
+
+#: Small pools on purpose: drawing from them makes leaves, predicates,
+#: and group-bys collide across the workload's queries.
+_LEAVES = [
+    Comparison("v", ">", 0.0),
+    Comparison("v", "<=", 25.0),
+    Comparison("w", "<", 10.0),
+    Comparison("t", ">=", 10.0),
+    Comparison("t", "==", 7.0),
+    InSet("g", {"a", "c"}),
+    InSet("g", {"e"}),
+    Contains("s", "s0"),
+]
+
+_AGGREGATES = [
+    sum_of(col("v")),
+    sum_of(col("w")),
+    avg_of(col("w")),
+    avg_of(col("v")),
+    count_star(),
+    sum_of(col("v") + col("w")),
+    sum_of(col("v") * 2.0 - 1.0),
+]
+
+_GROUP_BYS = [(), ("g",), ("t",), ("g", "t"), ("t", "g"), ("v",), ("g", "s")]
+
+
+@st.composite
+def predicates(draw):
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        return draw(st.sampled_from(_LEAVES))
+    children = draw(st.lists(st.sampled_from(_LEAVES), min_size=1, max_size=3))
+    if shape == 1:
+        return And(children)
+    if shape == 2:
+        return Or(children)
+    return Not(draw(st.sampled_from(_LEAVES)))
+
+
+@st.composite
+def queries(draw):
+    aggregates = draw(
+        st.lists(st.sampled_from(_AGGREGATES), min_size=1, max_size=3)
+    )
+    predicate = draw(st.one_of(st.none(), predicates()))
+    group_by = draw(st.sampled_from(_GROUP_BYS))
+    return Query(aggregates, predicate, group_by)
+
+
+@st.composite
+def workloads(draw):
+    """2..8 queries, with a chance of literal duplicates appended."""
+    base = draw(st.lists(queries(), min_size=2, max_size=6))
+    duplicates = draw(
+        st.lists(st.sampled_from(base), min_size=0, max_size=2)
+    )
+    return base + duplicates
+
+
+def assert_bitwise_equal(actual, expected):
+    assert len(actual) == len(expected)
+    for a, e in zip(actual, expected):
+        assert list(a.keys()) == list(e.keys())
+        for key in e:
+            assert a[key].tobytes() == e[key].tobytes(), (key, a[key], e[key])
+
+
+@pytest.mark.slow
+class TestWorkloadBatchParity:
+    @given(tables(), workloads(), st.integers(1, 8))
+    @settings(max_examples=120, deadline=None)
+    def test_matrix_equals_per_query_batch(self, table, workload, num_partitions):
+        num_partitions = min(num_partitions, table.num_rows)
+        ptable = partition_evenly(table, num_partitions)
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix(workload)
+        batch = BatchExecutor.for_table(ptable)
+        for qi, query in enumerate(workload):
+            assert_bitwise_equal(
+                matrix.answers(qi), batch.partition_answers(query)
+            )
+
+    @given(tables(), workloads(), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_invariant(self, table, workload, num_partitions):
+        """Plan/mask/factorization sharing never changes any result."""
+        num_partitions = min(num_partitions, table.num_rows)
+        ptable = partition_evenly(table, num_partitions)
+        shared_executor = WorkloadExecutor(ptable)
+        shared = shared_executor.answer_matrix(workload)
+        # The pools guarantee overlap often enough for the dedup paths to
+        # be genuinely exercised; when they fire they must be invisible.
+        for qi, query in enumerate(workload):
+            isolated = WorkloadExecutor(ptable).answer_matrix([query])
+            assert_bitwise_equal(shared.answers(qi), isolated.answers(0))
+            assert (
+                shared.contributions(qi).tobytes()
+                == isolated.contributions(0).tobytes()
+            )
+
+    @given(tables(), queries(), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_duplicate_queries_share_answers(self, table, query, num_partitions):
+        num_partitions = min(num_partitions, table.num_rows)
+        ptable = partition_evenly(table, num_partitions)
+        executor = WorkloadExecutor(ptable)
+        matrix = executor.answer_matrix([query, query, query])
+        assert executor.query_dedup_hits == 2
+        assert matrix.block(0) is matrix.block(1) is matrix.block(2)
+        assert_bitwise_equal(
+            matrix.answers(0),
+            BatchExecutor.for_table(ptable).partition_answers(query),
+        )
+
+    @given(tables(), workloads(), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_contributions_match_dict_walk(self, table, workload, num_partitions):
+        num_partitions = min(num_partitions, table.num_rows)
+        ptable = partition_evenly(table, num_partitions)
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix(workload)
+        batch = BatchExecutor.for_table(ptable)
+        for qi, query in enumerate(workload):
+            reference = partition_contributions(batch.partition_answers(query))
+            assert matrix.contributions(qi).tobytes() == reference.tobytes()
