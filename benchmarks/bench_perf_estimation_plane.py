@@ -1,0 +1,224 @@
+"""Sweep-style answer evaluation: dict ``combiner.estimate`` vs block plane.
+
+Times the estimation plane the LSS stratum sweep and the
+feature-selection evaluator sit on: scoring a grid of candidate weighted
+selections per query against the query's exact answer. The dict path is
+``engine/combiner.estimate`` + ``core/metrics.evaluate_errors`` over
+per-partition ``ComponentAnswer`` dicts (truth hoisted per query, i.e.
+the post-PR-4 dict path — the old per-candidate truth recomputation
+would only pad the speedup); the block path is
+``engine/block_estimator.BlockEstimator``, a zero-copy view over the
+training ``AnswerMatrix``'s compacted segment arrays, constructed fresh
+per repeat so its one-time truth-block build is inside the measurement.
+
+Candidate selections replicate the Table 8 sweep shape: per query a
+fixed ranking is swept over (budget fraction x stratum size) candidates
+drawn by ``stratified_select``. The same selections are scored by both
+paths, and every (query, candidate) report is asserted *identical*
+(``ErrorReport ==``, no tolerance) before timings are reported — the
+speedup is only meaningful if the answers cannot drift. Emits
+``BENCH_perf_estimation_plane.json`` under ``benchmarks/results/``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_estimation_plane.py
+
+or via pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_estimation_plane.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.baselines.lss import stratified_select
+from repro.bench.reporting import emit, format_table, results_dir
+from repro.core.metrics import evaluate_errors
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.block_estimator import BlockEstimator
+from repro.engine.combiner import WeightedChoice, estimate
+from repro.engine.expressions import col
+from repro.engine.layout import partition_evenly, sort_table
+from repro.engine.predicates import And, Comparison, InSet, Or
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.engine.workload_executor import WorkloadExecutor
+
+PARTITION_COUNTS = (64, 256, 1024)
+ROWS_PER_PARTITION = 50
+REPEATS = 5
+
+#: The Table 8 sweep grid (LSS defaults).
+BUDGET_FRACTIONS = (0.1, 0.2, 0.3, 0.5)
+STRATUM_GRID = (2, 4, 8, 12, 16, 24, 32, 48, 64)
+
+SCHEMA = Schema.of(
+    Column("x", ColumnKind.NUMERIC, positive=True),
+    Column("y", ColumnKind.NUMERIC),
+    Column("d", ColumnKind.DATE),
+    Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+)
+
+
+def _queries() -> list[Query]:
+    """Sweep-style queries with the group cardinalities training sees."""
+    range_pred = And([Comparison("x", ">", 2.0), Comparison("d", "<=", 240.0)])
+    tail_pred = Or([Comparison("y", "<", -4.0), Comparison("y", ">", 4.0)])
+    return [
+        Query([sum_of(col("x")), count_star()], range_pred, ("cat",)),
+        Query([avg_of(col("y"))], tail_pred, ("cat", "d")),
+        Query([count_star(), sum_of(col("x"))], InSet("cat", {"a", "c"}), ("d",)),
+        Query([sum_of(col("x") + col("y")), avg_of(col("x"))], range_pred, ("d",)),
+        Query([sum_of(col("y"))], tail_pred, ()),
+        Query([count_star()], None, ("cat",)),
+    ]
+
+
+def _build_ptable(num_partitions: int, seed: int = 13):
+    rng = np.random.default_rng(seed)
+    n = num_partitions * ROWS_PER_PARTITION
+    table = Table(
+        SCHEMA,
+        {
+            "x": rng.exponential(10.0, n) + 1.0,
+            "y": rng.normal(0.0, 5.0, n),
+            "d": rng.integers(0, 365, n),
+            "cat": rng.choice(["a", "b", "c", "dd"], n, p=[0.55, 0.25, 0.15, 0.05]),
+        },
+    )
+    return partition_evenly(sort_table(table, "d"), num_partitions)
+
+
+def _candidates(num_partitions: int, seed: int = 29) -> list[list[WeightedChoice]]:
+    """The sweep's candidate selections over one fixed ranking."""
+    rng = np.random.default_rng(seed)
+    ranked = rng.permutation(num_partitions)
+    selections = []
+    for fraction in BUDGET_FRACTIONS:
+        budget = max(1, int(round(fraction * num_partitions)))
+        if budget >= num_partitions:
+            continue
+        for size in STRATUM_GRID:
+            if size > num_partitions:
+                continue
+            selections.append(stratified_select(ranked, budget, size, rng))
+    return selections
+
+
+def _time_dict_path(matrix, queries, candidates) -> tuple[float, list]:
+    """Best-of-REPEATS seconds + reports: hoisted truth, dict walk per
+    candidate. Lazy answer views are materialized up front so the timer
+    sees steady-state dict scoring, not the one-time scatter."""
+    answer_lists = [list(matrix.answers(qi)) for qi in range(len(queries))]
+    truths = [
+        estimate(
+            query,
+            answer_lists[qi],
+            [WeightedChoice(p, 1.0) for p in range(matrix.num_partitions)],
+        )
+        for qi, query in enumerate(queries)
+    ]
+    timings, reports = [], []
+    for __ in range(REPEATS):
+        reports = []
+        started = time.perf_counter()
+        for qi, query in enumerate(queries):
+            answers = answer_lists[qi]
+            truth = truths[qi]
+            for selection in candidates:
+                reports.append(
+                    evaluate_errors(truth, estimate(query, answers, selection))
+                )
+        timings.append(time.perf_counter() - started)
+    return min(timings), reports
+
+
+def _time_block_path(matrix, queries, candidates) -> tuple[float, list]:
+    """Best-of-REPEATS seconds + reports: fresh estimator per repeat, so
+    the (cached) truth-block build is inside the timing."""
+    timings, reports = [], []
+    for __ in range(REPEATS):
+        reports = []
+        started = time.perf_counter()
+        for qi in range(len(queries)):
+            estimator = BlockEstimator.from_matrix(matrix, qi)
+            for selection in candidates:
+                reports.append(estimator.score(selection))
+        timings.append(time.perf_counter() - started)
+    return min(timings), reports
+
+
+def run() -> dict:
+    queries = _queries()
+    rows = []
+    for num_partitions in PARTITION_COUNTS:
+        ptable = _build_ptable(num_partitions)
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix(queries)
+        candidates = _candidates(num_partitions)
+        # Warm both paths (lazy views, allocator) before timing.
+        _time_block_path(matrix, queries, candidates)
+        dict_s, dict_reports = _time_dict_path(matrix, queries, candidates)
+        block_s, block_reports = _time_block_path(matrix, queries, candidates)
+        assert block_reports == dict_reports, (
+            "block and dict paths disagree — parity is a hard precondition "
+            "of the speedup claim"
+        )
+        rows.append(
+            {
+                "partitions": num_partitions,
+                "queries": len(queries),
+                "candidates": len(candidates),
+                "dict_ms": dict_s * 1e3,
+                "block_ms": block_s * 1e3,
+                "speedup": dict_s / block_s,
+                "bit_identical": True,
+            }
+        )
+    report = {
+        "benchmark": "perf_estimation_plane",
+        "rows_per_partition": ROWS_PER_PARTITION,
+        "repeats": REPEATS,
+        "timed_step": "score all sweep candidates vs hoisted truth, all queries",
+        "results": rows,
+    }
+    (results_dir() / "BENCH_perf_estimation_plane.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    emit(
+        "perf_estimation_plane",
+        format_table(
+            ["partitions", "candidates", "dict (ms)", "block (ms)", "speedup"],
+            [
+                [
+                    r["partitions"],
+                    r["candidates"] * r["queries"],
+                    r["dict_ms"],
+                    r["block_ms"],
+                    f"{r['speedup']:.1f}x",
+                ]
+                for r in rows
+            ],
+            title=f"Sweep candidate evaluation, {len(queries)} queries "
+            f"(best of {REPEATS})",
+        ),
+    )
+    return report
+
+
+def test_perf_estimation_plane():
+    report = run()
+    # The block plane must never lose, and must clear the 5x acceptance
+    # bar from 256 partitions up.
+    for row in report["results"]:
+        assert row["speedup"] > 1.0, row
+        if row["partitions"] >= 256:
+            assert row["speedup"] >= 5.0, row
+
+
+if __name__ == "__main__":
+    run()

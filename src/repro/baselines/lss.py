@@ -16,6 +16,19 @@ to partitions with three changes, all implemented here:
 At query time: score passing partitions, form rank strata of the selected
 size, allocate the budget proportionally to stratum sizes, sample
 uniformly within strata, and weight by ``stratum_size / stratum_samples``.
+
+The Table 8 stratum-size sweep scores every (budget fraction, stratum
+size) candidate selection against each sweep query's exact answer. Two
+estimation paths serve it (``estimation_path``): the default block path
+runs candidate evaluation dict-free over the training
+:class:`~repro.engine.workload_executor.AnswerMatrix` arrays via
+:class:`~repro.engine.block_estimator.BlockEstimator`, and the dict path
+(``engine/combiner.estimate`` + ``evaluate_errors``) remains the
+reference oracle — both choose identical strata, report for report, bit
+for bit. Per-query sweep state (passing set, model ranking, exact
+answer) is hoisted out of the candidate loops: it is invariant across
+the grid, and recomputing the weight-1 truth per candidate used to
+dominate the sweep's cost.
 """
 
 from __future__ import annotations
@@ -24,9 +37,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.metrics import evaluate_errors, mean_report
+from repro.core.metrics import mean_report
 from repro.core.training import TrainingConfig, TrainingData
-from repro.engine.combiner import WeightedChoice, estimate
+from repro.engine.block_estimator import selection_scorer
+from repro.engine.combiner import WeightedChoice
 from repro.engine.query import Query
 from repro.errors import ConfigError, NotFittedError
 from repro.ml.gbrt import GBRTRegressor
@@ -91,6 +105,8 @@ class LSSSampler:
     feature_builder: FeatureBuilder
     seed: int = 0
     stratum_grid: tuple[int, ...] = (2, 4, 8, 12, 16, 24, 32, 48, 64)
+    #: "auto" (block path for array-backed answers), "block", or "dict".
+    estimation_path: str = "auto"
     _model: GBRTRegressor | None = field(default=None, repr=False)
     _normalizer: Normalizer | None = field(default=None, repr=False)
     #: budget fraction -> best stratum size (the Table 8 sweep result)
@@ -126,7 +142,15 @@ class LSSSampler:
         budget_fractions: tuple[float, ...],
         sweep_queries: int,
     ) -> None:
-        """Exhaustive stratum-size sweep on training queries (Table 8)."""
+        """Exhaustive stratum-size sweep on training queries (Table 8).
+
+        Per-query state (passing set, model ranking, exact answer) is
+        invariant across the (fraction, size) grid and hoisted into one
+        preparation pass; the grid loops then only draw the candidate
+        selection and score it. The rank order of ``rng`` draws matches
+        the naive nested loop exactly, so sweep results are reproducible
+        across the refactor and across estimation paths.
+        """
         rng = np.random.default_rng(self.seed)
         num_partitions = data.features[0].shape[0]
         query_ids = rng.choice(
@@ -135,32 +159,27 @@ class LSSSampler:
             replace=False,
         )
         upper_index = self.feature_builder.schema.selectivity_upper_index
+        prepared = []
+        for qid in query_ids:
+            passing = np.flatnonzero(data.features[qid][:, upper_index] > 0.0)
+            if passing.size == 0:
+                continue
+            scores = self._model.predict(normalized[qid][passing])
+            ranked = passing[np.argsort(-scores)]
+            score = selection_scorer(
+                data.queries[qid], data.answers[qid], self.estimation_path
+            )
+            prepared.append((ranked, score))
         for fraction in budget_fractions:
             budget = max(1, int(round(fraction * num_partitions)))
             best_size, best_error = self.stratum_grid[0], float("inf")
             for size in self.stratum_grid:
                 if size > num_partitions:
                     continue
-                reports = []
-                for qid in query_ids:
-                    query = data.queries[qid]
-                    answers = data.answers[qid]
-                    passing = np.flatnonzero(
-                        data.features[qid][:, upper_index] > 0.0
-                    )
-                    if passing.size == 0:
-                        continue
-                    scores = self._model.predict(normalized[qid][passing])
-                    ranked = passing[np.argsort(-scores)]
-                    truth = estimate(
-                        query,
-                        answers,
-                        [WeightedChoice(p, 1.0) for p in range(len(answers))],
-                    )
-                    selection = stratified_select(ranked, budget, size, rng)
-                    reports.append(
-                        evaluate_errors(truth, estimate(query, answers, selection))
-                    )
+                reports = [
+                    score(stratified_select(ranked, budget, size, rng))
+                    for ranked, score in prepared
+                ]
                 error = (
                     mean_report(reports).avg_relative_error
                     if reports

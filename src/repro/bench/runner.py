@@ -26,9 +26,10 @@ from repro.core.training import (
 )
 from repro.datasets.registry import get_dataset
 from repro.engine.batch_executor import fused_view
+from repro.engine.block_estimator import BlockEstimator
 from repro.engine.combiner import WeightedChoice, estimate
-from repro.engine.executor import ComponentAnswer, compute_partition_answers
 from repro.engine.query import Query
+from repro.engine.workload_executor import WorkloadExecutor
 from repro.engine.table import PartitionedTable
 from repro.sketches.builder import DatasetStatistics, build_dataset_statistics
 from repro.stats.features import FeatureBuilder
@@ -41,11 +42,15 @@ class PreparedQuery:
     """A test query with everything needed to score any selection."""
 
     query: Query
-    answers: list[ComponentAnswer]
+    answers: list  # per-partition ComponentAnswer sequence (lazy when array-backed)
     truth: dict
     true_selectivity: float  # fraction of rows passing the predicate
+    #: Set when the answers are array-backed; scores selections dict-free.
+    estimator: BlockEstimator | None = None
 
     def evaluate(self, selection: list[WeightedChoice]) -> ErrorReport:
+        if self.estimator is not None:
+            return self.estimator.score(selection)
         return evaluate_errors(self.truth, estimate(self.query, self.answers, selection))
 
 
@@ -104,12 +109,14 @@ class ExperimentContext:
     # -- query preparation -----------------------------------------------------
 
     def prepare_query(self, query: Query) -> PreparedQuery:
-        answers = compute_partition_answers(self.ptable, query)
-        truth = estimate(
-            query,
-            answers,
-            [WeightedChoice(p, 1.0) for p in range(len(answers))],
-        )
+        # Answers come out of the workload executor array-backed, so
+        # every budget-sweep evaluation scores through the block
+        # estimator (dict materialization only if a consumer indexes
+        # ``answers``); the truth dict is kept for compatibility.
+        matrix = WorkloadExecutor.for_table(self.ptable).answer_matrix([query])
+        answers = matrix.answers(0)
+        estimator = BlockEstimator.from_matrix(matrix, 0)
+        truth = estimator.truth_answer()
         if query.predicate is None:
             selectivity = 1.0
         else:
@@ -117,7 +124,7 @@ class ExperimentContext:
             view = fused_view(self.ptable)
             passing = int(query.predicate.mask(view.columns).sum())
             selectivity = passing / self.ptable.num_rows
-        return PreparedQuery(query, answers, truth, selectivity)
+        return PreparedQuery(query, answers, truth, selectivity, estimator)
 
     @property
     def num_partitions(self) -> int:

@@ -23,8 +23,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.variance import confidence_interval
-from repro.engine.combiner import WeightedChoice, estimate
+from repro.engine.block_estimator import BlockEstimator
+from repro.engine.combiner import WeightedChoice, combine_answers
 from repro.engine.executor import ComponentAnswer
+from repro.engine.workload_executor import LazyPartitionAnswers
 from repro.engine.query import Query
 from repro.errors import ConfigError
 from repro.ml.kmeans import KMeans
@@ -61,7 +63,7 @@ class ConfidentAnswer:
 
 
 def estimate_with_confidence(
-    partition_answers: list[ComponentAnswer],
+    partition_answers: list[ComponentAnswer] | LazyPartitionAnswers,
     query: Query,
     features: QueryFeatures,
     normalized: np.ndarray,
@@ -110,7 +112,19 @@ def estimate_with_confidence(
             read.update(int(p) for p in extra)
         cluster_probes.append((int(members.size), probed))
 
-    combined = estimate(query, partition_answers, selection)
+    # Combine in *component* space (SUM/COUNT totals per group) — the
+    # slot-indexed CI math below needs components, not finalized
+    # aggregates. (This previously ran through ``combiner.estimate``,
+    # whose finalized values only coincide with component totals when a
+    # query's aggregates map 1:1 onto its components; AVG intervals were
+    # built from an already-finalized AVG in the SUM slot.) Array-backed
+    # answers combine through the block estimator, dict lists keep the
+    # reference dict walk.
+    estimator = BlockEstimator.from_lazy(partition_answers)
+    if estimator is not None:
+        combined = estimator.component_answer(selection)
+    else:
+        combined = combine_answers(partition_answers, selection)
 
     # Per-group, per-component variance: sum over clusters of
     # s * sum((y - mean)^2) over the probed members (Appendix D.1's

@@ -10,7 +10,15 @@ family orders and keeping the best exclusion set found.
 Evaluations are cached by exclusion set — the greedy path revisits sets
 frequently — and the error of an exclusion set is measured by actually
 running cluster-sampling on training queries at a few budgets and scoring
-the weighted estimates against the exact answers.
+the weighted estimates against the exact answers. Scoring runs on one of
+two estimation paths (``estimation_path``): the default block path works
+dict-free over the training ``AnswerMatrix`` arrays through
+:class:`~repro.engine.block_estimator.BlockEstimator`, while plain dict
+answers keep the ``engine/combiner.estimate`` walk as the reference
+oracle — the two produce bit-identical errors. Per-query sweep state
+(passing sets and the exact answers) is independent of the exclusion set
+and prepared once per evaluator, so each additional exclusion set only
+pays for clustering and candidate scoring.
 """
 
 from __future__ import annotations
@@ -20,9 +28,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cluster_sampler import cluster_sample
-from repro.core.metrics import evaluate_errors, mean_report
+from repro.core.metrics import mean_report
 from repro.core.training import TrainingData
-from repro.engine.combiner import estimate
+from repro.engine.block_estimator import selection_scorer
 from repro.errors import ConfigError
 from repro.stats.features import FeatureSchema
 
@@ -37,6 +45,8 @@ class ClusteringErrorEvaluator:
     algorithm: str = "kmeans"
     max_queries: int = 20
     seed: int = 0
+    #: "auto" (block path for array-backed answers), "block", or "dict".
+    estimation_path: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.data.normalized:
@@ -47,6 +57,7 @@ class ClusteringErrorEvaluator:
         self._query_ids = rng.choice(
             len(self.data.queries), size=count, replace=False
         )
+        self._prepared: list[tuple[int, np.ndarray, object]] | None = None
 
     def _keep_indices(self, excluded: frozenset[str]) -> np.ndarray:
         keep = [
@@ -55,6 +66,27 @@ class ClusteringErrorEvaluator:
             if info.family not in excluded
         ]
         return np.asarray(keep, dtype=np.intp)
+
+    def _prepare(self) -> list[tuple[int, np.ndarray, object]]:
+        """Exclusion-invariant per-query state: passing set + scorer.
+
+        The scorer holds the hoisted weight-1 exact answer, so no
+        exclusion set ever recomputes a truth.
+        """
+        upper_index = self.schema.selectivity_upper_index
+        prepared = []
+        for qid in self._query_ids:
+            raw = self.data.features[qid]
+            passing = np.flatnonzero(raw[:, upper_index] > 0.0)
+            if passing.size == 0:
+                continue
+            score = selection_scorer(
+                self.data.queries[qid],
+                self.data.answers[qid],
+                self.estimation_path,
+            )
+            prepared.append((qid, passing, score))
+        return prepared
 
     def error(self, excluded: frozenset[str]) -> float:
         """Mean avg-relative-error across sampled queries and budgets."""
@@ -65,25 +97,14 @@ class ClusteringErrorEvaluator:
         if keep.size == 0:
             self._cache[excluded] = float("inf")
             return float("inf")
-        upper_index = self.schema.selectivity_upper_index
+        if self._prepared is None:
+            self._prepared = self._prepare()
         reports = []
-        for qid in self._query_ids:
-            query = self.data.queries[qid]
-            raw = self.data.features[qid]
+        for qid, passing, score in self._prepared:
             normalized = self.data.normalized[qid][:, keep]
-            answers = self.data.answers[qid]
-            passing = np.flatnonzero(raw[:, upper_index] > 0.0)
-            if passing.size == 0:
-                continue
-            truth = estimate(
-                query,
-                answers,
-                [  # exact answer: every partition at weight 1
-                    _unit(p) for p in range(len(answers))
-                ],
-            )
+            num_partitions = normalized.shape[0]
             for fraction in self.budget_fractions:
-                budget = max(1, int(round(fraction * len(answers))))
+                budget = max(1, int(round(fraction * num_partitions)))
                 selection = cluster_sample(
                     normalized,
                     passing,
@@ -91,17 +112,12 @@ class ClusteringErrorEvaluator:
                     algorithm=self.algorithm,
                     seed=self.seed,
                 )
-                approx = estimate(query, answers, selection)
-                reports.append(evaluate_errors(truth, approx))
-        score = mean_report(reports).avg_relative_error if reports else float("inf")
-        self._cache[excluded] = score
-        return score
-
-
-def _unit(partition: int):
-    from repro.engine.combiner import WeightedChoice
-
-    return WeightedChoice(partition, 1.0)
+                reports.append(score(selection))
+        score_value = (
+            mean_report(reports).avg_relative_error if reports else float("inf")
+        )
+        self._cache[excluded] = score_value
+        return score_value
 
 
 def greedy_feature_selection(

@@ -8,6 +8,15 @@ error while missing every small group:
   ``|est - true| / |true|``, counting missed groups as 1;
 * **absolute error over true** — per aggregate, mean absolute error across
   groups divided by the mean absolute true value, averaged over aggregates.
+
+Two entry points share one matrix core: :func:`evaluate_errors` walks
+``FinalAnswer`` dicts (the reference path), and
+:func:`evaluate_errors_block` scores the array form the
+:class:`~repro.engine.block_estimator.BlockEstimator` produces — group
+rows addressed by code instead of key, presence as boolean vectors. Both
+order groups canonically (ascending group key, which is exactly the
+block path's code order), so for the same answers they return the same
+:class:`ErrorReport` bit for bit.
 """
 
 from __future__ import annotations
@@ -35,29 +44,23 @@ class ErrorReport:
         }
 
 
-def evaluate_errors(truth: FinalAnswer, estimate: FinalAnswer) -> ErrorReport:
-    """Compare an approximate answer against the exact answer.
+#: Empty true answer, empty estimate: an exact approximation.
+_EMPTY_TRUTH_EXACT = ErrorReport(0.0, 0.0, 0.0)
+#: Empty true answer, non-empty estimate: every estimated group is
+#: invented signal, the per-group analogue of a zero truth estimated
+#: non-zero — one full relative error, no groups to miss or scale by.
+_EMPTY_TRUTH_SPURIOUS = ErrorReport(0.0, 1.0, 0.0)
 
-    Groups present only in the estimate (possible when weighting scales a
-    spurious partition) are ignored, matching the paper's metrics which
-    are defined over the true answer's groups.
+
+def _matrix_report(
+    true_matrix: np.ndarray, est_matrix: np.ndarray, present: np.ndarray
+) -> ErrorReport:
+    """The three metrics over aligned (group, aggregate) matrices.
+
+    ``present`` marks the true groups the estimate carries; absent rows
+    of ``est_matrix`` are zero. Shared by the dict and block paths so
+    their reports cannot drift.
     """
-    if not truth:
-        # An empty true answer is exactly approximated by an empty estimate.
-        missed = 0.0 if not estimate else 0.0
-        return ErrorReport(missed, 0.0, 0.0)
-
-    keys = list(truth)
-    num_aggs = len(next(iter(truth.values())))
-    true_matrix = np.vstack([truth[k] for k in keys])
-    est_matrix = np.zeros_like(true_matrix)
-    present = np.zeros(len(keys), dtype=bool)
-    for i, key in enumerate(keys):
-        vec = estimate.get(key)
-        if vec is not None:
-            est_matrix[i] = vec
-            present[i] = True
-
     missed = float(1.0 - present.mean())
 
     # Average relative error: missed groups count as 1 per aggregate.
@@ -68,6 +71,7 @@ def evaluate_errors(truth: FinalAnswer, estimate: FinalAnswer) -> ErrorReport:
     avg_rel = float(rel.mean())
 
     # Absolute error over true, per aggregate then averaged.
+    num_aggs = true_matrix.shape[1]
     abs_err = np.abs(est_matrix - true_matrix).mean(axis=0)
     true_scale = np.abs(true_matrix).mean(axis=0)
     ratios = np.divide(
@@ -77,6 +81,64 @@ def evaluate_errors(truth: FinalAnswer, estimate: FinalAnswer) -> ErrorReport:
         where=true_scale > 0.0,
     )
     return ErrorReport(missed, avg_rel, float(ratios.mean()))
+
+
+def evaluate_errors(truth: FinalAnswer, estimate: FinalAnswer) -> ErrorReport:
+    """Compare an approximate answer against the exact answer.
+
+    Groups present only in the estimate (possible when weighting scales a
+    spurious partition) are ignored, matching the paper's metrics which
+    are defined over the true answer's groups — except when the true
+    answer has no groups at all, where a non-empty estimate is pure
+    invented signal and scores one full relative error. Groups are
+    iterated in sorted key order (every query's group keys are mutually
+    comparable tuples), which pins the float summation order to the
+    block path's ascending group-code order.
+    """
+    if not truth:
+        return _EMPTY_TRUTH_SPURIOUS if estimate else _EMPTY_TRUTH_EXACT
+
+    keys = sorted(truth)
+    true_matrix = np.vstack([truth[k] for k in keys])
+    est_matrix = np.zeros_like(true_matrix)
+    present = np.zeros(len(keys), dtype=bool)
+    for i, key in enumerate(keys):
+        vec = estimate.get(key)
+        if vec is not None:
+            est_matrix[i] = vec
+            present[i] = True
+    return _matrix_report(true_matrix, est_matrix, present)
+
+
+def evaluate_errors_block(
+    true_values: np.ndarray,
+    true_present: np.ndarray,
+    est_values: np.ndarray,
+    est_present: np.ndarray,
+) -> ErrorReport:
+    """Array twin of :func:`evaluate_errors` over shared group codes.
+
+    ``true_values`` / ``est_values`` are ``(groups, aggregates)`` blocks
+    addressed by one group-code dictionary (rows in ascending code
+    order, as :meth:`BlockEstimator.estimate` produces them), with
+    boolean presence vectors. Rows absent from the truth are ignored
+    (spurious groups), rows absent from the estimate score as missed —
+    the same semantics, and bit for bit the same report, as the dict
+    path.
+    """
+    true_present = np.asarray(true_present, dtype=bool)
+    est_present = np.asarray(est_present, dtype=bool)
+    if not true_present.any():
+        return _EMPTY_TRUTH_SPURIOUS if est_present.any() else _EMPTY_TRUTH_EXACT
+
+    present = est_present[true_present]
+    true_matrix = np.asarray(true_values, dtype=np.float64)[true_present]
+    est_matrix = np.where(
+        present[:, None],
+        np.asarray(est_values, dtype=np.float64)[true_present],
+        0.0,
+    )
+    return _matrix_report(true_matrix, est_matrix, present)
 
 
 def mean_report(reports: list[ErrorReport]) -> ErrorReport:

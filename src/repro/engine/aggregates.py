@@ -16,6 +16,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.expressions import Expression
 from repro.errors import QueryScopeError
 
@@ -92,6 +94,24 @@ class Aggregate:
             total, count = component_values
             return float(total) / float(count) if count else 0.0
         return float(component_values[0])
+
+    def finalize_block(self, component_values) -> np.ndarray:
+        """Vectorized :meth:`finalize` over a block of groups.
+
+        ``component_values`` holds one array per component, each aligned
+        across groups. Per element this is the exact IEEE-754 computation
+        :meth:`finalize` performs (AVG divides SUM by COUNT with the same
+        zero-count guard), so the two agree bit for bit.
+        """
+        if self.func is AggFunc.AVG:
+            total, count = component_values
+            return np.divide(
+                total,
+                count,
+                out=np.zeros_like(total, dtype=np.float64),
+                where=count != 0.0,
+            )
+        return np.asarray(component_values[0], dtype=np.float64)
 
     def columns(self) -> frozenset[str]:
         return self.expr.columns() if self.expr is not None else frozenset()

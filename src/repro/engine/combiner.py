@@ -5,6 +5,13 @@ choices ``S = {(p_1, w_1), ..., (p_n, w_n)}``, the approximate component
 answer of group ``g`` is ``A~_g = sum_j w_j * A_{g, p_j}``. Finalization
 then maps combined linear components to the query's aggregate values
 (AVG = SUM/COUNT).
+
+This dict walk is the estimator's *reference path*, kept deliberately
+close to the paper's notation. Hot sweep loops (the LSS stratum sweep,
+feature selection, the bench runner) evaluate the same estimator over
+dense answer arrays via :class:`~repro.engine.block_estimator
+.BlockEstimator`, which reproduces this module's results bit for bit;
+dict inputs stay here as the oracle the block path is tested against.
 """
 
 from __future__ import annotations

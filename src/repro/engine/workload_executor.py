@@ -208,6 +208,11 @@ class LazyPartitionAnswers:
         self._block = block
         self._cache: list = [_UNSET] * block.num_partitions
 
+    @property
+    def block(self) -> QueryAnswerBlock:
+        """The backing array block (the hook array consumers switch on)."""
+        return self._block
+
     def __len__(self) -> int:
         return self._block.num_partitions
 

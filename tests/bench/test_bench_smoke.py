@@ -49,6 +49,7 @@ def test_perf_benches_exist():
     assert "bench_perf_feature_plane.py" in names
     assert "bench_perf_batch_executor.py" in names
     assert "bench_perf_workload_executor.py" in names
+    assert "bench_perf_estimation_plane.py" in names
 
 
 @pytest.mark.parametrize("path", PERF_BENCHES, ids=lambda p: p.stem)
@@ -72,3 +73,11 @@ def test_perf_bench_main_path(path, tmp_path, monkeypatch):
     persisted = json.loads(json_path.read_text())
     assert persisted["benchmark"] == bench_name
     assert (tmp_path / f"{bench_name}.txt").exists()
+    if bench_name == "perf_estimation_plane":
+        # The estimation-plane bench's speedup claim is conditional on
+        # block/dict parity; the flag must be present and true, and the
+        # timing columns must survive schema drift.
+        for row in persisted["results"]:
+            assert row["bit_identical"] is True
+            assert row["dict_ms"] > 0.0 and row["block_ms"] > 0.0
+            assert row["candidates"] > 0

@@ -78,6 +78,27 @@ class TestContext:
         b = get_context("kdd", profile=TINY)
         assert a is b
 
+    def test_prepared_evaluate_block_equals_dict_path(self, context):
+        """Prepared queries score through the block estimator; the dict
+        walk over the same answers must report identically."""
+        from repro.core.metrics import evaluate_errors
+        from repro.engine.combiner import WeightedChoice, estimate
+
+        rng = np.random.default_rng(5)
+        for prepared in context.prepared:
+            assert prepared.estimator is not None
+            parts = rng.choice(context.num_partitions, size=6, replace=False)
+            selection = [
+                WeightedChoice(int(p), float(1.0 + rng.random() * 4.0))
+                for p in parts
+            ]
+            block_report = prepared.evaluate(selection)
+            dict_report = evaluate_errors(
+                prepared.truth,
+                estimate(prepared.query, prepared.answers, selection),
+            )
+            assert block_report == dict_report
+
 
 class TestReporting:
     def test_format_table_alignment(self):

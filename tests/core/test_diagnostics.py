@@ -87,6 +87,49 @@ class TestConfidenceIntervals:
                 answers, query, features, normalized, budget=3, probes_per_cluster=0
             )
 
+    def test_full_budget_avg_estimate_matches_exact(self, prepared, trained_ps3):
+        """The AVG CI math runs on SUM/COUNT *components*.
+
+        With budget = all partitions every cluster is a singleton at
+        weight 1, so the AVG estimate must equal the exact AVG. (A
+        regression guard: combining through finalized aggregates instead
+        of components used to feed the finalized AVG into the SUM slot.)
+        """
+        query, answers, features, normalized = prepared
+        n = trained_ps3.ptable.num_partitions
+        result = estimate_with_confidence(
+            answers, query, features, normalized, budget=n
+        )
+        exact = trained_ps3.execute_exact(query)
+        for key, interval in result.groups.items():
+            if key not in exact:
+                continue
+            # Aggregate order: SUM, COUNT, AVG — compare the AVG slot.
+            assert interval.estimate[2] == pytest.approx(exact[key][2], rel=1e-9)
+
+    def test_block_and_dict_answers_agree(self, prepared, trained_ps3):
+        """Array-backed answers route through the block combiner and must
+        reproduce the dict-walk intervals."""
+        from repro.engine.workload_executor import WorkloadExecutor
+
+        query, answers, features, normalized = prepared
+        lazy = WorkloadExecutor.for_table(trained_ps3.ptable).partition_answers(
+            query
+        )
+        dict_result = estimate_with_confidence(
+            list(lazy), query, features, normalized, budget=5, seed=4
+        )
+        block_result = estimate_with_confidence(
+            lazy, query, features, normalized, budget=5, seed=4
+        )
+        assert set(block_result.groups) == set(dict_result.groups)
+        assert block_result.partitions_read == dict_result.partitions_read
+        for key, interval in block_result.groups.items():
+            reference = dict_result.groups[key]
+            np.testing.assert_array_equal(interval.estimate, reference.estimate)
+            np.testing.assert_allclose(interval.lower, reference.lower)
+            np.testing.assert_allclose(interval.upper, reference.upper)
+
     def test_empty_passing_set(self, trained_ps3):
         query = Query([count_star()], Comparison("l_quantity", ">", 1e9))
         answers = compute_partition_answers(trained_ps3.ptable, query)

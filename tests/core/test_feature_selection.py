@@ -41,6 +41,32 @@ class TestEvaluator:
             ClusteringErrorEvaluator(trained_ps3.feature_builder.schema, empty)
 
 
+class TestEstimationPathParity:
+    def test_block_and_dict_errors_identical(self, trained_ps3):
+        """Exclusion-set scoring must not depend on the estimation plane."""
+        kwargs = dict(
+            budget_fractions=(0.25,),
+            max_queries=4,
+            seed=3,
+        )
+        schema = trained_ps3.feature_builder.schema
+        block = ClusteringErrorEvaluator(
+            schema, trained_ps3.training_data, estimation_path="block", **kwargs
+        )
+        dict_ = ClusteringErrorEvaluator(
+            schema, trained_ps3.training_data, estimation_path="dict", **kwargs
+        )
+        for excluded in (frozenset(), frozenset({"min(x)"})):
+            assert block.error(excluded) == dict_.error(excluded)
+
+    def test_truth_prepared_once_across_exclusion_sets(self, evaluator):
+        evaluator.error(frozenset({"max(x)"}))
+        prepared = evaluator._prepared
+        assert prepared is not None
+        evaluator.error(frozenset({"min(x)", "max(x)"}))
+        assert evaluator._prepared is prepared
+
+
 class TestGreedySearch:
     def test_never_excludes_selectivity_upper(self, evaluator, trained_ps3):
         excluded = greedy_feature_selection(

@@ -1,32 +1,68 @@
-"""Unit tests for the three error metrics (paper section 5.1.4)."""
+"""Unit tests for the three error metrics (paper section 5.1.4).
+
+The dict path (:func:`evaluate_errors`) and the array twin
+(:func:`evaluate_errors_block`) share semantics and must report
+identically; the shared cases here run through both.
+"""
 
 import numpy as np
 import pytest
 
-from repro.core.metrics import ErrorReport, evaluate_errors, mean_report
+from repro.core.metrics import (
+    ErrorReport,
+    evaluate_errors,
+    evaluate_errors_block,
+    mean_report,
+)
 
 
 def answer(**groups):
     return {(k,): np.asarray(v, dtype=float) for k, v in groups.items()}
 
 
+def as_block(truth, estimate):
+    """Lower two FinalAnswer dicts to the block form (shared key codes)."""
+    keys = sorted(set(truth) | set(estimate))
+    num_aggs = len(next(iter((truth or estimate).values()), np.zeros(1)))
+    true_values = np.zeros((len(keys), num_aggs))
+    est_values = np.zeros((len(keys), num_aggs))
+    true_present = np.zeros(len(keys), dtype=bool)
+    est_present = np.zeros(len(keys), dtype=bool)
+    for g, key in enumerate(keys):
+        if key in truth:
+            true_values[g] = truth[key]
+            true_present[g] = True
+        if key in estimate:
+            est_values[g] = estimate[key]
+            est_present[g] = True
+    return true_values, true_present, est_values, est_present
+
+
+def both_paths(truth, estimate):
+    """Evaluate through the dict path and the block twin; require identity."""
+    dict_report = evaluate_errors(truth, estimate)
+    block_report = evaluate_errors_block(*as_block(truth, estimate))
+    assert dict_report == block_report
+    return dict_report
+
+
 class TestMissedGroups:
     def test_no_misses(self):
         truth = answer(a=[1.0], b=[2.0])
-        report = evaluate_errors(truth, truth)
+        report = both_paths(truth, truth)
         assert report.missed_groups == 0.0
         assert report.avg_relative_error == 0.0
         assert report.abs_over_true == 0.0
 
     def test_half_missed(self):
         truth = answer(a=[1.0], b=[2.0])
-        report = evaluate_errors(truth, answer(a=[1.0]))
+        report = both_paths(truth, answer(a=[1.0]))
         assert report.missed_groups == 0.5
 
     def test_spurious_groups_ignored(self):
         truth = answer(a=[1.0])
         estimate = answer(a=[1.0], ghost=[99.0])
-        report = evaluate_errors(truth, estimate)
+        report = both_paths(truth, estimate)
         assert report.missed_groups == 0.0
         assert report.avg_relative_error == 0.0
 
@@ -34,26 +70,26 @@ class TestMissedGroups:
 class TestRelativeError:
     def test_simple_ratio(self):
         truth = answer(a=[10.0])
-        report = evaluate_errors(truth, answer(a=[12.0]))
+        report = both_paths(truth, answer(a=[12.0]))
         assert report.avg_relative_error == pytest.approx(0.2)
 
     def test_missed_group_counts_as_one(self):
         truth = answer(a=[10.0], b=[10.0])
-        report = evaluate_errors(truth, answer(a=[10.0]))
+        report = both_paths(truth, answer(a=[10.0]))
         assert report.avg_relative_error == pytest.approx(0.5)
 
     def test_zero_truth_zero_estimate_is_exact(self):
         truth = answer(a=[0.0])
-        assert evaluate_errors(truth, answer(a=[0.0])).avg_relative_error == 0.0
+        assert both_paths(truth, answer(a=[0.0])).avg_relative_error == 0.0
 
     def test_zero_truth_nonzero_estimate_counts_one(self):
         truth = answer(a=[0.0])
-        assert evaluate_errors(truth, answer(a=[5.0])).avg_relative_error == 1.0
+        assert both_paths(truth, answer(a=[5.0])).avg_relative_error == 1.0
 
     def test_multiple_aggregates_averaged(self):
         truth = {("a",): np.array([10.0, 100.0])}
         estimate = {("a",): np.array([11.0, 100.0])}
-        report = evaluate_errors(truth, estimate)
+        report = both_paths(truth, estimate)
         assert report.avg_relative_error == pytest.approx(0.05)
 
 
@@ -61,21 +97,45 @@ class TestAbsOverTrue:
     def test_scale_normalized(self):
         truth = answer(a=[100.0], b=[300.0])
         estimate = answer(a=[110.0], b=[310.0])
-        report = evaluate_errors(truth, estimate)
+        report = both_paths(truth, estimate)
         # mean abs err 10 over mean true 200.
         assert report.abs_over_true == pytest.approx(0.05)
 
     def test_missed_groups_contribute_full_value(self):
         truth = answer(a=[100.0], b=[100.0])
         estimate = answer(a=[100.0])
-        report = evaluate_errors(truth, estimate)
+        report = both_paths(truth, estimate)
         assert report.abs_over_true == pytest.approx(0.5)
 
 
-class TestEdgesAndAggregation:
-    def test_empty_truth(self):
-        report = evaluate_errors({}, {})
+class TestEmptyTruth:
+    """Pinned semantics: an empty true answer is exactly approximated by
+    an empty estimate; a non-empty estimate of an empty truth is pure
+    invented signal and scores one full relative error (the per-group
+    zero-truth/non-zero-estimate rule lifted to the whole answer)."""
+
+    def test_empty_truth_empty_estimate_is_exact(self):
+        assert both_paths({}, {}) == ErrorReport(0.0, 0.0, 0.0)
+
+    def test_empty_truth_nonempty_estimate_counts_one(self):
+        report = both_paths({}, answer(ghost=[5.0]))
+        assert report == ErrorReport(0.0, 1.0, 0.0)
+
+    def test_block_truth_present_nowhere(self):
+        # Grouped zero-match queries carry group slots with all-false
+        # presence; that is the block form of an empty truth.
+        true_present = np.zeros(2, dtype=bool)
+        est_present = np.array([True, False])
+        values = np.zeros((2, 1))
+        report = evaluate_errors_block(values, true_present, values, est_present)
+        assert report == ErrorReport(0.0, 1.0, 0.0)
+        report = evaluate_errors_block(
+            values, true_present, values, np.zeros(2, dtype=bool)
+        )
         assert report == ErrorReport(0.0, 0.0, 0.0)
+
+
+class TestEdgesAndAggregation:
 
     def test_mean_report(self):
         reports = [ErrorReport(0.0, 0.2, 0.1), ErrorReport(1.0, 0.4, 0.3)]

@@ -1,0 +1,192 @@
+"""Property tests: block estimation plane == dict oracle, bit for bit.
+
+Random (table, query, selection) triples — including zero-match
+predicates, partial selections that miss groups, and weight-scaled
+selections that blow spurious groups up — must produce identical
+combined totals, finalized answers, and :class:`ErrorReport` values
+through :class:`BlockEstimator` and through the ``combiner.estimate`` /
+``evaluate_errors`` dict walk. Reports are compared with ``==`` (no
+tolerance); totals with ``np.array_equal`` (exact floats, the two IEEE
+zeros identified).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import evaluate_errors
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.block_estimator import BlockEstimator, selection_scorer
+from repro.engine.combiner import WeightedChoice, estimate
+from repro.engine.expressions import col
+from repro.engine.layout import partition_evenly
+from repro.engine.predicates import And, Comparison, InSet, Not, Or
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.engine.workload_executor import WorkloadExecutor
+
+SCHEMA = Schema.of(
+    Column("v", ColumnKind.NUMERIC),
+    Column("w", ColumnKind.NUMERIC),
+    Column("t", ColumnKind.DATE),
+    Column("g", ColumnKind.CATEGORICAL, low_cardinality=True),
+)
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(4, 80))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    return Table(
+        SCHEMA,
+        {
+            "v": rng.normal(0, 50, n).round(2),
+            "w": rng.exponential(5, n).round(2),
+            "t": rng.integers(0, 12, n),
+            "g": rng.choice(["a", "b", "c", "d"], n),
+        },
+    )
+
+
+_LEAVES = [
+    Comparison("v", ">", 0.0),
+    Comparison("w", "<", 5.0),
+    Comparison("t", ">=", 6.0),
+    InSet("g", {"a", "c"}),
+    # Matches nothing: the zero-match / empty-truth corner.
+    Comparison("v", ">", 1e12),
+]
+
+_AGGREGATES = [
+    sum_of(col("v")),
+    avg_of(col("w")),
+    avg_of(col("v")),
+    count_star(),
+    sum_of(col("v") + col("w")),
+]
+
+_GROUP_BYS = [(), ("g",), ("t",), ("g", "t"), ("v",)]
+
+
+@st.composite
+def queries(draw):
+    aggregates = draw(
+        st.lists(st.sampled_from(_AGGREGATES), min_size=1, max_size=3)
+    )
+    shape = draw(st.integers(0, 3))
+    if shape == 0:
+        predicate = None
+    elif shape == 1:
+        predicate = draw(st.sampled_from(_LEAVES))
+    elif shape == 2:
+        predicate = draw(
+            st.builds(
+                draw(st.sampled_from([And, Or])),
+                st.lists(st.sampled_from(_LEAVES), min_size=1, max_size=3),
+            )
+        )
+    else:
+        predicate = Not(draw(st.sampled_from(_LEAVES)))
+    return Query(aggregates, predicate, draw(st.sampled_from(_GROUP_BYS)))
+
+
+@st.composite
+def selections(draw, num_partitions):
+    """0..n weighted choices; duplicates and large weights allowed."""
+    size = draw(st.integers(0, num_partitions))
+    parts = draw(
+        st.lists(
+            st.integers(0, num_partitions - 1), min_size=size, max_size=size
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(0.0, 64.0, allow_nan=False), min_size=size, max_size=size
+        )
+    )
+    return [WeightedChoice(p, w) for p, w in zip(parts, weights)]
+
+
+@st.composite
+def cases(draw):
+    table = draw(tables())
+    num_partitions = min(draw(st.integers(1, 8)), table.num_rows)
+    ptable = partition_evenly(table, num_partitions)
+    query = draw(queries())
+    selection = draw(selections(num_partitions))
+    return ptable, query, selection
+
+
+@pytest.mark.slow
+class TestBlockDictParity:
+    @given(cases())
+    @settings(max_examples=150, deadline=None)
+    def test_estimate_bitwise(self, case):
+        ptable, query, selection = case
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix([query])
+        estimator = BlockEstimator.from_matrix(matrix, 0)
+        values, present = estimator.estimate(selection)
+        reference = estimate(query, matrix.answers(0), selection)
+        final = estimator.as_final_answer(values, present)
+        assert set(final) == set(reference)
+        for key in reference:
+            assert np.array_equal(final[key], reference[key]), key
+
+    @given(cases())
+    @settings(max_examples=150, deadline=None)
+    def test_score_identical_reports(self, case):
+        ptable, query, selection = case
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix([query])
+        estimator = BlockEstimator.from_matrix(matrix, 0)
+        answers = matrix.answers(0)
+        truth = estimate(
+            query,
+            answers,
+            [WeightedChoice(p, 1.0) for p in range(ptable.num_partitions)],
+        )
+        block_report = estimator.score(selection)
+        dict_report = evaluate_errors(truth, estimate(query, answers, selection))
+        assert block_report == dict_report
+
+    @given(cases(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_subset_truth_missed_and_spurious(self, case, data):
+        """Score against a truth from a different selection: groups can
+        be missing from the truth (spurious, weight-scaled) or from the
+        estimate (missed); the report must still match the dict path."""
+        ptable, query, selection = case
+        truth_selection = data.draw(selections(ptable.num_partitions))
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix([query])
+        estimator = BlockEstimator.from_matrix(matrix, 0)
+        answers = matrix.answers(0)
+        block_report = estimator.score(
+            selection, truth=estimator.estimate(truth_selection)
+        )
+        dict_report = evaluate_errors(
+            estimate(query, answers, truth_selection),
+            estimate(query, answers, selection),
+        )
+        assert block_report == dict_report
+
+    @given(cases())
+    @settings(max_examples=60, deadline=None)
+    def test_scorer_paths_agree(self, case):
+        ptable, query, selection = case
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix([query])
+        answers = matrix.answers(0)
+        reports = {
+            path: selection_scorer(query, answers, path)(selection)
+            for path in ("auto", "block", "dict")
+        }
+        assert reports["auto"] == reports["block"] == reports["dict"]
+
+    @given(cases())
+    @settings(max_examples=60, deadline=None)
+    def test_from_answers_scores_like_from_block(self, case):
+        ptable, query, selection = case
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix([query])
+        from_block = BlockEstimator.from_matrix(matrix, 0)
+        from_dicts = BlockEstimator.from_answers(query, list(matrix.answers(0)))
+        assert from_dicts.score(selection) == from_block.score(selection)
