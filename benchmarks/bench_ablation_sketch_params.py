@@ -13,9 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.profiles import get_profile
 from repro.bench.reporting import emit, format_table
-from repro.bench.runner import ExperimentContext, PreparedQuery
+from repro.bench.runner import ExperimentContext
 from repro.core.metrics import mean_report
 from repro.core.picker import PickerConfig, PS3Picker
 from repro.core.training import train_picker_model

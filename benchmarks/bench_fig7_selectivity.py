@@ -8,7 +8,6 @@ versus random+filter, PS3 helps most on *non-selective* queries
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench.reporting import emit, format_table

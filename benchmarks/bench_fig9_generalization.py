@@ -14,7 +14,6 @@ import pytest
 
 from repro.bench.reporting import emit, format_table
 from repro.bench.runner import get_context
-from repro.core.metrics import mean_report
 from repro.workload.tpch_queries import TEMPLATES
 
 VARIANTS_PER_TEMPLATE = 5

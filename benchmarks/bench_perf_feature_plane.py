@@ -95,7 +95,9 @@ def _build_builder(num_partitions: int, seed: int = 11) -> FeatureBuilder:
     return FeatureBuilder(build_dataset_statistics(ptable), ("cat", "d"))
 
 
-def _time_path(builder: FeatureBuilder, queries: list[Query], vectorized: bool) -> float:
+def _time_path(
+    builder: FeatureBuilder, queries: list[Query], vectorized: bool
+) -> float:
     """Best-of-REPEATS seconds to featurize the whole query workload."""
     timings = []
     for __ in range(REPEATS):

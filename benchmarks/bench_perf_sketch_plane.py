@@ -1,0 +1,237 @@
+"""Sketch-build plane: scalar per-partition builder vs the batched plane.
+
+Times the offline half of the statistics builder (paper Figure 1,
+section 2.3.1) two ways:
+
+* **build**: ``build_dataset_statistics(vectorized=False)`` — the
+  per-partition sketch-constructor loop — against the default
+  vectorized plane, which makes one chunked numpy pass per column over
+  the fused table view (shared segmented-unique pass, per-dataset
+  distinct hashing, batch sketch constructors);
+* **cold start**: loading a saved deployment the pre-PR-5 way
+  (``load_statistics`` + ``ColumnarSketchIndex.build``, i.e. re-export
+  every sketch object into arrays) against
+  ``load_statistics_bundle`` on a file that persisted the index arrays.
+
+Both comparisons assert bit-identical results (sketch encodings for the
+build, index arrays for the cold start) before any timing is reported —
+the speedups are only meaningful if the artifacts cannot drift. Emits
+``BENCH_perf_sketch_plane.json`` under ``benchmarks/results/``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sketch_plane.py
+
+or via pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_sketch_plane.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.reporting import emit, format_table, results_dir
+from repro.engine.layout import partition_evenly, sort_table
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.sketches.builder import build_dataset_statistics
+from repro.sketches.columnar import ColumnarSketchIndex
+from repro.storage import (
+    load_statistics,
+    load_statistics_bundle,
+    save_statistics,
+)
+
+PARTITION_COUNTS = (64, 256, 1024)
+ROWS_PER_PARTITION = 50
+REPEATS = 3
+
+SCHEMA = Schema.of(
+    Column("x", ColumnKind.NUMERIC, positive=True),
+    Column("y", ColumnKind.NUMERIC),
+    Column("d", ColumnKind.DATE),
+    Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+)
+
+
+def _build_ptable(num_partitions: int, seed: int = 13):
+    rng = np.random.default_rng(seed)
+    n = num_partitions * ROWS_PER_PARTITION
+    table = Table(
+        SCHEMA,
+        {
+            "x": rng.exponential(10.0, n) + 1.0,
+            "y": rng.normal(0.0, 5.0, n),
+            "d": rng.integers(0, 365, n),
+            "cat": rng.choice(["a", "b", "c", "dd"], n, p=[0.55, 0.25, 0.15, 0.05]),
+        },
+    )
+    return partition_evenly(sort_table(table, "d"), num_partitions)
+
+
+def _sketches_identical(a, b) -> bool:
+    """Bit-level equality of two DatasetStatistics (serialized sketches)."""
+    if a.num_partitions != b.num_partitions:
+        return False
+    if a.global_heavy_hitters != b.global_heavy_hitters:
+        return False
+    for p in range(a.num_partitions):
+        for name, ca in a.partitions[p].columns.items():
+            cb = b.partitions[p].columns[name]
+            for field in (
+                "measures",
+                "histogram",
+                "akmv",
+                "heavy_hitter",
+                "exact_dict",
+            ):
+                sa, sb = getattr(ca, field), getattr(cb, field)
+                if (sa is None) != (sb is None):
+                    return False
+                if sa is not None and sa.to_bytes() != sb.to_bytes():
+                    return False
+    return True
+
+
+def _indexes_identical(a: ColumnarSketchIndex, b: ColumnarSketchIndex) -> bool:
+    if set(a.columns) != set(b.columns):
+        return False
+    for name, col in a.columns.items():
+        other = b.columns[name].array_state()
+        for key, arr in col.array_state().items():
+            if arr.dtype != other[key].dtype or not np.array_equal(
+                arr, other[key]
+            ):
+                return False
+    return True
+
+
+def _time_builds(ptable) -> tuple[float, float, bool]:
+    """Best-of-REPEATS seconds for the scalar and vectorized builders."""
+    scalar_s, vector_s = [], []
+    scalar = vector = None
+    for __ in range(REPEATS):
+        started = time.perf_counter()
+        scalar = build_dataset_statistics(ptable, vectorized=False)
+        scalar_s.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        vector = build_dataset_statistics(ptable, vectorized=True)
+        vector_s.append(time.perf_counter() - started)
+    return min(scalar_s), min(vector_s), _sketches_identical(scalar, vector)
+
+
+def _time_cold_start(stats, directory: Path) -> tuple[float, float, bool]:
+    """Best-of-REPEATS seconds: export-on-load vs persisted-index load."""
+    path = directory / "deploy.ps3stats"
+    fresh_index = ColumnarSketchIndex.build(stats)
+    save_statistics(stats, path, index=fresh_index)
+    export_s, bundle_s = [], []
+    loaded_index = None
+    for __ in range(REPEATS):
+        started = time.perf_counter()
+        reloaded = load_statistics(path)
+        ColumnarSketchIndex.build(reloaded)
+        export_s.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        loaded_index = load_statistics_bundle(path).index
+        bundle_s.append(time.perf_counter() - started)
+    return (
+        min(export_s),
+        min(bundle_s),
+        _indexes_identical(fresh_index, loaded_index),
+    )
+
+
+def run() -> dict:
+    rows = []
+    for num_partitions in PARTITION_COUNTS:
+        ptable = _build_ptable(num_partitions)
+        build_dataset_statistics(ptable)  # warm caches/allocator
+        scalar_s, vector_s, build_identical = _time_builds(ptable)
+        assert build_identical, (
+            "vectorized and scalar builders disagree — parity is a hard "
+            "precondition of the speedup claim"
+        )
+        stats = build_dataset_statistics(ptable)
+        with tempfile.TemporaryDirectory() as tmp:
+            export_s, bundle_s, index_identical = _time_cold_start(
+                stats, Path(tmp)
+            )
+        assert index_identical, (
+            "persisted index differs from a fresh export — parity is a "
+            "hard precondition of the cold-start claim"
+        )
+        rows.append(
+            {
+                "partitions": num_partitions,
+                "scalar_build_ms": scalar_s * 1e3,
+                "vectorized_build_ms": vector_s * 1e3,
+                "speedup": scalar_s / vector_s,
+                "cold_export_ms": export_s * 1e3,
+                "cold_index_ms": bundle_s * 1e3,
+                "cold_speedup": export_s / bundle_s,
+                "bit_identical": True,
+            }
+        )
+    report = {
+        "benchmark": "perf_sketch_plane",
+        "rows_per_partition": ROWS_PER_PARTITION,
+        "repeats": REPEATS,
+        "timed_step": (
+            "build_dataset_statistics scalar vs vectorized; cold start "
+            "load+export vs persisted-index bundle load"
+        ),
+        "results": rows,
+    }
+    (results_dir() / "BENCH_perf_sketch_plane.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    emit(
+        "perf_sketch_plane",
+        format_table(
+            [
+                "partitions",
+                "scalar (ms)",
+                "vectorized (ms)",
+                "speedup",
+                "cold export (ms)",
+                "cold index (ms)",
+                "cold speedup",
+            ],
+            [
+                [
+                    r["partitions"],
+                    r["scalar_build_ms"],
+                    r["vectorized_build_ms"],
+                    f"{r['speedup']:.1f}x",
+                    r["cold_export_ms"],
+                    r["cold_index_ms"],
+                    f"{r['cold_speedup']:.1f}x",
+                ]
+                for r in rows
+            ],
+            title=f"Sketch build + cold start (best of {REPEATS})",
+        ),
+    )
+    return report
+
+
+def test_perf_sketch_plane():
+    report = run()
+    # The vectorized plane must never lose, and must be measurably
+    # faster (acceptance bar) from 256 partitions up.
+    for row in report["results"]:
+        assert row["speedup"] > 1.0, row
+        assert row["cold_speedup"] > 1.0, row
+        if row["partitions"] >= 256:
+            assert row["speedup"] >= 1.5, row
+
+
+if __name__ == "__main__":
+    run()

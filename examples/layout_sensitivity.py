@@ -20,7 +20,6 @@ from repro.api import answer_with_selection
 from repro.baselines.random_sampling import RandomSampler
 from repro.core.metrics import evaluate_errors, mean_report
 from repro.datasets import get_dataset
-from repro.engine.layout import layout_and_partition
 from repro.workload import QueryGenerator
 
 LAYOUTS = ("count", "service_flag", "random")

@@ -51,14 +51,16 @@ def main() -> None:
     selection = sampler.select(query, answer.budget)
     random_answer = answer_with_selection(ptable, query, selection)
     random_report = evaluate_errors(ps3.execute_exact(query), random_answer)
-    print(f"\nUniform partition sampling @ same budget:")
+    print("\nUniform partition sampling @ same budget:")
     print(f"  avg relative error: {random_report.avg_relative_error:.4f}")
     print(f"  missed groups:      {random_report.missed_groups:.4f}")
 
     print("\nFirst groups of the approximate answer:")
     labels = answer.aggregate_labels()
     for key, values in list(answer.groups.items())[:5]:
-        rendered = ", ".join(f"{l}={v:,.1f}" for l, v in zip(labels, values))
+        rendered = ", ".join(
+            f"{label}={v:,.1f}" for label, v in zip(labels, values)
+        )
         print(f"  {key}: {rendered}")
 
 

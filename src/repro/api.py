@@ -89,13 +89,17 @@ class PS3:
         workload: WorkloadSpec,
         sketch_config: SketchConfig | None = None,
         picker_config: PickerConfig | None = None,
+        sketch_n_jobs: int | None = None,
     ) -> None:
         workload.validate_against(ptable.schema)
         self.ptable = ptable
         self.workload = workload
         self.picker_config = picker_config or PickerConfig()
-        # Offline: one pass over each partition at seal time.
-        self.statistics = build_dataset_statistics(ptable, sketch_config)
+        # Offline: one chunked pass per column across all partitions
+        # (``sketch_n_jobs > 1`` fans columns out over a process pool).
+        self.statistics = build_dataset_statistics(
+            ptable, sketch_config, n_jobs=sketch_n_jobs
+        )
         self.feature_builder = FeatureBuilder(
             self.statistics, workload.groupby_universe
         )

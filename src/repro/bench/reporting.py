@@ -30,7 +30,9 @@ def format_table(
     """Fixed-width text table."""
     rendered = [[_format_cell(c) for c in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        max(len(headers[i]), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(headers[i])
         for i in range(len(headers))
     ]
     lines = []

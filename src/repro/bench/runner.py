@@ -51,7 +51,9 @@ class PreparedQuery:
     def evaluate(self, selection: list[WeightedChoice]) -> ErrorReport:
         if self.estimator is not None:
             return self.estimator.score(selection)
-        return evaluate_errors(self.truth, estimate(self.query, self.answers, selection))
+        return evaluate_errors(
+            self.truth, estimate(self.query, self.answers, selection)
+        )
 
 
 @dataclass
@@ -61,15 +63,29 @@ class ExperimentContext:
     dataset_name: str
     layout: str
     profile: BenchProfile
-    ptable: PartitionedTable = field(repr=False, default=None)  # type: ignore[assignment]
-    workload: WorkloadSpec = field(repr=False, default=None)  # type: ignore[assignment]
-    statistics: DatasetStatistics = field(repr=False, default=None)  # type: ignore[assignment]
-    feature_builder: FeatureBuilder = field(repr=False, default=None)  # type: ignore[assignment]
-    model: PickerModel = field(repr=False, default=None)  # type: ignore[assignment]
-    training_data: TrainingData = field(repr=False, default=None)  # type: ignore[assignment]
+    ptable: PartitionedTable = field(  # type: ignore[assignment]
+        repr=False, default=None
+    )
+    workload: WorkloadSpec = field(  # type: ignore[assignment]
+        repr=False, default=None
+    )
+    statistics: DatasetStatistics = field(  # type: ignore[assignment]
+        repr=False, default=None
+    )
+    feature_builder: FeatureBuilder = field(  # type: ignore[assignment]
+        repr=False, default=None
+    )
+    model: PickerModel = field(  # type: ignore[assignment]
+        repr=False, default=None
+    )
+    training_data: TrainingData = field(  # type: ignore[assignment]
+        repr=False, default=None
+    )
     train_queries: list[Query] = field(repr=False, default_factory=list)
     prepared: list[PreparedQuery] = field(repr=False, default_factory=list)
-    lss: LSSSampler = field(repr=False, default=None)  # type: ignore[assignment]
+    lss: LSSSampler = field(  # type: ignore[assignment]
+        repr=False, default=None
+    )
 
     @classmethod
     def build(
@@ -93,7 +109,9 @@ class ExperimentContext:
         ctx.train_queries, test_queries = generator.train_test_split(
             profile.train_queries, profile.test_queries
         )
-        ctx.statistics = build_dataset_statistics(ctx.ptable)
+        ctx.statistics = build_dataset_statistics(
+            ctx.ptable, n_jobs=profile.sketch_n_jobs
+        )
         ctx.feature_builder = FeatureBuilder(
             ctx.statistics, ctx.workload.groupby_universe
         )

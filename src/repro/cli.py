@@ -32,7 +32,12 @@ from repro.engine.combiner import finalize_answer
 from repro.engine.executor import execute_on_partition, true_answer
 from repro.engine.sql import parse_query
 from repro.errors import ReproError
-from repro.storage import load_model, load_statistics, save_model, save_statistics
+from repro.storage import (
+    load_model,
+    load_statistics_bundle,
+    save_model,
+    save_statistics,
+)
 from repro.workload.generator import QueryGenerator
 
 _MANIFEST = "manifest.json"
@@ -73,7 +78,25 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    save_statistics(system.statistics, out / _STATS)
+    # Persist the columnar index and warm plan keys next to the sketches
+    # so reloads skip the sketch-object -> array export. The keys come
+    # from this deployment's own training workload, not the process-wide
+    # shared plan cache, which may hold other deployments' predicates.
+    plan_keys = tuple(
+        sorted(
+            {
+                repr(query.predicate)
+                for query in train_queries
+                if query.predicate is not None
+            }
+        )
+    )
+    save_statistics(
+        system.statistics,
+        out / _STATS,
+        index=system.feature_builder.sketch_index,
+        plan_cache_keys=plan_keys,
+    )
     save_model(system.model, out / _MODEL)
     (out / _MANIFEST).write_text(
         json.dumps(
@@ -103,8 +126,9 @@ def _load_deployment(deploy: str):
         manifest["layout"],
         seed=manifest["seed"],
     )
-    statistics = load_statistics(directory / _STATS)
-    model = load_model(directory / _MODEL, statistics)
+    bundle = load_statistics_bundle(directory / _STATS)
+    statistics = bundle.statistics
+    model = load_model(directory / _MODEL, statistics, index=bundle.index)
     picker = PS3Picker(model, statistics, PickerConfig(seed=manifest["seed"]))
     return manifest, spec, ptable, picker
 
@@ -126,7 +150,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             ptable[choice.partition], query
         ).items():
             acc = combined.get(key)
-            combined[key] = choice.weight * vec if acc is None else acc + choice.weight * vec
+            combined[key] = (
+                choice.weight * vec if acc is None else acc + choice.weight * vec
+            )
     answer = finalize_answer(query, combined)
     labels = [a.label() for a in query.aggregates]
     print(

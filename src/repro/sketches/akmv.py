@@ -54,6 +54,25 @@ class AKMVSketch:
         """Multiset union with another AKMV sketch (counts add on overlap)."""
         self._absorb(other.hashes, other.counts)
 
+    @classmethod
+    def from_hash_counts(
+        cls, hashes: np.ndarray, counts: np.ndarray, k: int = 128
+    ) -> AKMVSketch:
+        """Build from a partition's distinct hashes, already aggregated.
+
+        ``hashes`` must be the sorted-ascending distinct 64-bit hashes of
+        the partition's values and ``counts`` their multiplicities —
+        exactly what ``np.unique(hash_array(values), return_counts=True)``
+        produces. Matches ``build(values, k)`` bit for bit; the batched
+        dataset builder feeds it slices of one segmented-unique pass
+        instead of re-uniquing every partition.
+        """
+        sketch = cls(k=k)
+        keep = min(k, len(hashes))
+        sketch.hashes = np.asarray(hashes[:keep], dtype=np.uint64).copy()
+        sketch.counts = np.asarray(counts[:keep], dtype=np.int64).copy()
+        return sketch
+
     def _absorb(self, hashes: np.ndarray, counts: np.ndarray) -> None:
         if len(self.hashes):
             combined = np.concatenate([self.hashes, hashes])

@@ -17,6 +17,23 @@ categorical     histogram (hashed), AKMV, heavy hitter, exact dictionary iff
 It also assembles dataset-level artifacts: the *global* heavy hitters per
 column (merging per-partition sketches), capped at ``bitmap_k`` values,
 which back the occurrence-bitmap features (section 3.2).
+
+Two build planes share this module:
+
+* the scalar plane (``build_partition_statistics``, and
+  ``build_dataset_statistics(..., vectorized=False)``) constructs every
+  sketch per partition — the reference oracle;
+* the vectorized plane (``vectorized=True``, the default) makes one
+  chunked numpy pass per column across *all* partitions via the fused
+  table view: a single segmented-unique pass yields every partition's
+  sorted distinct values at once, each distinct value is hashed once per
+  dataset (not once per partition it appears in), and the per-sketch
+  batch constructors (``EquiDepthHistogram.build_segmented``,
+  ``AKMVSketch.from_hash_counts``, ``HeavyHitterSketch/ExactDictionary
+  .from_distinct_counts``, ``MeasuresSketch.build_segmented``) replay
+  the scalar constructions bit for bit from those shared segments. The
+  residual per-column work can fan out over an opt-in process pool
+  (``n_jobs``).
 """
 
 from __future__ import annotations
@@ -232,11 +249,27 @@ def recompute_global_heavy_hitters(
 
 
 def build_dataset_statistics(
-    ptable: PartitionedTable, config: SketchConfig | None = None
+    ptable: PartitionedTable,
+    config: SketchConfig | None = None,
+    *,
+    vectorized: bool = True,
+    n_jobs: int | None = None,
 ) -> DatasetStatistics:
-    """Build statistics for every partition plus global artifacts."""
+    """Build statistics for every partition plus global artifacts.
+
+    ``vectorized=True`` (the default) builds each column's sketches for
+    all partitions in one chunked numpy pass over the fused table view —
+    bit-identical to the per-partition constructors, which remain
+    available as the reference oracle via ``vectorized=False``.
+    ``n_jobs > 1`` additionally fans the per-column batch work out over a
+    process pool (opt-in: forking pays off only when columns are large
+    enough to dwarf the pickling of their fused arrays).
+    """
     config = config or SketchConfig()
-    partitions = [build_partition_statistics(p, config) for p in ptable]
+    if vectorized:
+        partitions = _build_partitions_vectorized(ptable, config, n_jobs)
+    else:
+        partitions = [build_partition_statistics(p, config) for p in ptable]
     dataset = DatasetStatistics(
         schema=ptable.schema, config=config, partitions=partitions
     )
@@ -245,3 +278,348 @@ def build_dataset_statistics(
             partitions, column.name, config
         )
     return dataset
+
+
+# -- vectorized build plane ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SegmentedDistincts:
+    """Every partition's sorted distinct values of one column, stacked.
+
+    ``uniques`` holds the dataset-global distinct values (sorted); each
+    partition's distincts are ``codes[offsets[p]:offsets[p+1]]`` indexed
+    into it, sorted ascending within the segment, with exact
+    multiplicities in ``counts``. One segmented-unique pass replaces the
+    per-partition ``np.unique`` calls of every sketch constructor.
+    """
+
+    uniques: np.ndarray  # (G,) global distinct values, sorted
+    codes: np.ndarray  # (D,) per-partition distinct entries -> uniques
+    counts: np.ndarray  # (D,) int64 multiplicities
+    offsets: np.ndarray  # (N+1,) partition boundaries into codes/counts
+
+    def values(self) -> np.ndarray:
+        """The distinct values themselves (segment-sorted)."""
+        return self.uniques[self.codes]
+
+    def hashes(self) -> np.ndarray:
+        """Stable 64-bit hash of each global distinct value.
+
+        Hashing is per *dataset-global* distinct — the scalar plane's
+        ``hash_array`` hashes each distinct once per partition it
+        appears in. The digests are the same blake2b-64 as
+        ``hash_value``, with the per-value payload packing batched.
+        """
+        import hashlib
+
+        from repro.sketches.hashing import hash_value
+
+        uniques = self.uniques
+        if uniques.dtype.kind in "fiu":
+            # One C-level pack of every float64; identical bytes to the
+            # per-value struct.pack("<d", ...) in hash_value.
+            packed = np.ascontiguousarray(uniques, dtype="<f8").tobytes()
+            blake2b = hashlib.blake2b
+            from_bytes = int.from_bytes
+            return np.fromiter(
+                (
+                    from_bytes(
+                        blake2b(packed[i : i + 8], digest_size=8).digest(),
+                        "little",
+                    )
+                    for i in range(0, len(packed), 8)
+                ),
+                dtype=np.uint64,
+                count=len(uniques),
+            )
+        # Strings, bytes, everything else: defer to hash_value per global
+        # distinct, so the payload rules (np.str_ -> utf-8, any other
+        # scalar -> float pack) can never drift from the scalar plane's
+        # hash_array — including its failure mode on unconvertible values.
+        return np.fromiter(
+            (hash_value(value) for value in uniques),
+            dtype=np.uint64,
+            count=len(uniques),
+        )
+
+
+def _segment_distincts(
+    values: np.ndarray, offsets: np.ndarray
+) -> _SegmentedDistincts:
+    """One pass: per-partition sorted distinct values with counts."""
+    n = len(offsets) - 1
+    if values.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return _SegmentedDistincts(
+            values[:0], empty, empty, np.zeros(n + 1, dtype=np.int64)
+        )
+    uniques, inverse = np.unique(values, return_inverse=True)
+    part_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+    keys = part_ids * len(uniques) + inverse
+    distinct_keys, counts = np.unique(keys, return_counts=True)
+    codes = distinct_keys % len(uniques)
+    seg_parts = distinct_keys // len(uniques)
+    seg_offsets = np.searchsorted(seg_parts, np.arange(n + 1))
+    return _SegmentedDistincts(
+        uniques, codes, counts.astype(np.int64), seg_offsets.astype(np.int64)
+    )
+
+
+def _merge_equal_runs(
+    keys: np.ndarray, counts: np.ndarray, seg_offsets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge adjacent equal keys within each segment, summing counts.
+
+    Used twice: collapsing hash collisions after re-sorting a partition's
+    distincts by hash (what ``np.unique`` over the hashed rows would
+    do), and collapsing uint64 hashes that become equal under the
+    float64 cast the hashed histograms are built on.
+    """
+    total = len(keys)
+    n = len(seg_offsets) - 1
+    if total == 0:
+        return keys, counts, seg_offsets
+    part_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(seg_offsets))
+    change = np.empty(total, dtype=bool)
+    change[0] = True
+    change[1:] = (part_ids[1:] != part_ids[:-1]) | (keys[1:] != keys[:-1])
+    starts = np.flatnonzero(change)
+    cum = np.concatenate(([0], np.cumsum(counts)))
+    bounds = np.append(starts, total)
+    merged_counts = cum[bounds[1:]] - cum[bounds[:-1]]
+    merged_offsets = np.searchsorted(part_ids[starts], np.arange(n + 1))
+    return keys[starts], merged_counts.astype(np.int64), merged_offsets
+
+
+def _sort_segments_by_hash(
+    seg: _SegmentedDistincts, hashes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Each partition's distinct hashes sorted ascending, collisions merged.
+
+    Mirrors ``np.unique(hash_array(slice), return_counts=True)`` per
+    partition: distinct values re-keyed by hash, re-sorted within the
+    segment, equal hashes (collisions) summed.
+    """
+    n = len(seg.offsets) - 1
+    entry_hashes = hashes[seg.codes]
+    part_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(seg.offsets))
+    order = np.lexsort((entry_hashes, part_ids))
+    sorted_hashes = entry_hashes[order]
+    sorted_counts = seg.counts[order]
+    return _merge_equal_runs(sorted_hashes, sorted_counts, seg.offsets)
+
+
+def build_column_statistics_batch(
+    column: Column,
+    values: np.ndarray,
+    offsets: np.ndarray,
+    config: SketchConfig,
+) -> list[ColumnStatistics]:
+    """Every partition's :class:`ColumnStatistics` for one column.
+
+    ``values`` is the fused (concatenated) column and ``offsets`` the
+    partition boundaries. Bit-identical to calling
+    :func:`build_column_statistics` per partition slice.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = len(offsets) - 1
+    totals = np.diff(offsets)
+    hh_width = _lossy_counting_width(config)
+    if column.is_categorical:
+        seg = _segment_distincts(values, offsets)
+        hashes = seg.hashes()
+        hashed_keys, hashed_counts, hashed_offsets = _sort_segments_by_hash(
+            seg, hashes
+        )
+        float_keys, float_counts, float_offsets = _merge_equal_runs(
+            hashed_keys.astype(np.float64), hashed_counts, hashed_offsets
+        )
+        histograms = EquiDepthHistogram.build_segmented(
+            float_keys,
+            float_counts,
+            float_offsets,
+            buckets=config.histogram_buckets,
+            hashed=True,
+        )
+        distinct_values = seg.values()
+        out = []
+        for p in range(n):
+            stats = ColumnStatistics(column=column)
+            stats.histogram = histograms[p]
+            lo, hi = int(hashed_offsets[p]), int(hashed_offsets[p + 1])
+            stats.akmv = AKMVSketch.from_hash_counts(
+                hashed_keys[lo:hi], hashed_counts[lo:hi], k=config.akmv_k
+            )
+            dlo, dhi = int(seg.offsets[p]), int(seg.offsets[p + 1])
+            stats.heavy_hitter = _heavy_hitter_for_segment(
+                distinct_values[dlo:dhi],
+                seg.counts[dlo:dhi],
+                int(totals[p]),
+                values[offsets[p] : offsets[p + 1]],
+                config,
+                hh_width,
+            )
+            if column.low_cardinality:
+                stats.exact_dict = ExactDictionary.from_distinct_counts(
+                    distinct_values[dlo:dhi],
+                    seg.counts[dlo:dhi],
+                    limit=config.exact_dict_limit,
+                )
+            out.append(stats)
+        return out
+
+    numeric = values.astype(np.float64)
+    if bool(
+        np.any((numeric == 0.0) & np.signbit(numeric))
+        or np.isnan(numeric).any()
+    ):
+        # Two float families break the "same value, same bits" premise of
+        # a dataset-global dedup: -0.0 compares equal to 0.0 but has
+        # different bits (np.unique's run representative depends on sort
+        # internals), and NaNs never compare equal yet np.unique
+        # collapses them to one representative regardless of payload
+        # bits. Either way the global pass cannot replay each
+        # partition's per-slice np.unique pick; both are rare enough to
+        # hand the whole column to the scalar oracle instead of
+        # guessing.
+        return [
+            build_column_statistics(
+                column, numeric[offsets[p] : offsets[p + 1]], config
+            )
+            for p in range(n)
+        ]
+    seg = _segment_distincts(numeric, offsets)
+    measures = MeasuresSketch.build_segmented(
+        numeric, offsets, track_log=column.positive
+    )
+    distinct_values = seg.values()
+    histograms = EquiDepthHistogram.build_segmented(
+        distinct_values, seg.counts, seg.offsets, buckets=config.histogram_buckets
+    )
+    hashed_keys, hashed_counts, hashed_offsets = _sort_segments_by_hash(
+        seg, seg.hashes()
+    )
+    out = []
+    for p in range(n):
+        stats = ColumnStatistics(column=column)
+        stats.measures = measures[p]
+        stats.histogram = histograms[p]
+        lo, hi = int(hashed_offsets[p]), int(hashed_offsets[p + 1])
+        stats.akmv = AKMVSketch.from_hash_counts(
+            hashed_keys[lo:hi], hashed_counts[lo:hi], k=config.akmv_k
+        )
+        dlo, dhi = int(seg.offsets[p]), int(seg.offsets[p + 1])
+        stats.heavy_hitter = _heavy_hitter_for_segment(
+            distinct_values[dlo:dhi],
+            seg.counts[dlo:dhi],
+            int(totals[p]),
+            numeric[offsets[p] : offsets[p + 1]],
+            config,
+            hh_width,
+        )
+        out.append(stats)
+    return out
+
+
+def _lossy_counting_width(config: SketchConfig) -> int:
+    """The lossy-counting block width a config's heavy hitters will use.
+
+    Read off a throwaway sketch rather than re-deriving the epsilon
+    default and ``ceil(1/epsilon)`` formula, so the batch plane's
+    fast-path/streaming-fallback threshold can never drift from
+    ``HeavyHitterSketch.__post_init__``.
+    """
+    return HeavyHitterSketch(
+        support=config.hh_support, epsilon=config.hh_epsilon
+    )._width
+
+
+def _heavy_hitter_for_segment(
+    uniques: np.ndarray,
+    counts: np.ndarray,
+    total: int,
+    raw_slice: np.ndarray,
+    config: SketchConfig,
+    width: int,
+) -> HeavyHitterSketch:
+    """Fast-path heavy hitters, falling back to the streaming build.
+
+    The pre-aggregated replay is exact only when the partition fits in a
+    single lossy-counting block; larger partitions (rows > 1/epsilon)
+    depend on row order, so they stream the raw slice like the scalar
+    plane does.
+    """
+    if total <= width:
+        return HeavyHitterSketch.from_distinct_counts(
+            uniques, counts, support=config.hh_support, epsilon=config.hh_epsilon
+        )
+    return HeavyHitterSketch.build(
+        raw_slice, support=config.hh_support, epsilon=config.hh_epsilon
+    )
+
+
+def _build_partitions_vectorized(
+    ptable: PartitionedTable, config: SketchConfig, n_jobs: int | None
+) -> list[PartitionStatistics]:
+    """All partitions' statistics via per-column chunked passes."""
+    # Imported lazily: the engine package pulls in stats.plan -> columnar,
+    # which imports this module.
+    from repro.engine.batch_executor import fused_view
+
+    view = fused_view(ptable)
+    offsets = view.offsets
+    schema = ptable.schema
+    if n_jobs is not None and n_jobs > 1 and len(schema.names) > 1:
+        by_column = _run_column_pool(ptable, offsets, config, n_jobs)
+    else:
+        by_column = {
+            column.name: build_column_statistics_batch(
+                column, view.columns[column.name], offsets, config
+            )
+            for column in schema
+        }
+    sizes = np.diff(offsets)
+    return [
+        PartitionStatistics(
+            partition_index=p,
+            num_rows=int(sizes[p]),
+            columns={column.name: by_column[column.name][p] for column in schema},
+        )
+        for p in range(ptable.num_partitions)
+    ]
+
+
+def _run_column_pool(
+    ptable: PartitionedTable,
+    offsets: np.ndarray,
+    config: SketchConfig,
+    n_jobs: int,
+) -> dict[str, list[ColumnStatistics]]:
+    """Fan the per-column batch builds out over a process pool."""
+    import concurrent.futures
+    import multiprocessing
+
+    schema = ptable.schema
+    start_methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context(
+        "fork" if "fork" in start_methods else None
+    )
+    workers = min(int(n_jobs), len(schema.names))
+    results: dict[str, list[ColumnStatistics]] = {}
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        futures = {
+            pool.submit(
+                build_column_statistics_batch,
+                column,
+                ptable.table.columns[column.name],
+                offsets,
+                config,
+            ): column.name
+            for column in schema
+        }
+        for future in concurrent.futures.as_completed(futures):
+            results[futures[future]] = future.result()
+    return results

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import QueryScopeError
+from repro.errors import ConfigError, QueryScopeError
 from repro.sketches.builder import ColumnStatistics, DatasetStatistics
 from repro.sketches.hashing import hash_value
 
@@ -124,7 +124,10 @@ class HistogramArrays:
         return HistogramArrays(
             np.vstack([_pad_edges(self.edges, width), _pad_edges(other.edges, width)]),
             np.vstack(
-                [_pad_zeros(self.depths, width - 1), _pad_zeros(other.depths, width - 1)]
+                [
+                    _pad_zeros(self.depths, width - 1),
+                    _pad_zeros(other.depths, width - 1),
+                ]
             ),
             np.vstack(
                 [
@@ -416,6 +419,98 @@ class ColumnIndex:
             ed_strings=self.ed_strings.concat(other.ed_strings),
         )
 
+    #: Flattened array fields, in serialization order. Keys are
+    #: ``field`` or ``field.subfield`` for the nested array bundles.
+    ARRAY_FIELDS = (
+        "stats",
+        "hist.edges",
+        "hist.depths",
+        "hist.distincts",
+        "hist.totals",
+        "hist.has",
+        "hh_lookup.keys",
+        "hh_lookup.parts",
+        "hh_lookup.values",
+        "hh_strings.unique_values",
+        "hh_strings.codes",
+        "hh_strings.parts",
+        "hh_strings.weights",
+        "hh_covered",
+        "ed_usable",
+        "ed_totals",
+        "ed_lookup.keys",
+        "ed_lookup.parts",
+        "ed_lookup.values",
+        "ed_strings.unique_values",
+        "ed_strings.codes",
+        "ed_strings.parts",
+        "ed_strings.weights",
+    )
+
+    def array_state(self) -> dict[str, np.ndarray]:
+        """Flat ``field -> array`` view of the whole index column.
+
+        The inverse of :meth:`from_array_state`; this is what
+        ``repro.storage.stats_io`` persists so cold starts can rehydrate
+        the index without re-exporting the sketch objects.
+        """
+        out: dict[str, np.ndarray] = {}
+        for key in self.ARRAY_FIELDS:
+            if "." in key:
+                owner_name, field = key.split(".", 1)
+                out[key] = getattr(getattr(self, owner_name), field)
+            else:
+                out[key] = getattr(self, key)
+        return out
+
+    @classmethod
+    def from_array_state(
+        cls, name: str, state: dict[str, np.ndarray]
+    ) -> ColumnIndex:
+        """Rebuild a column index from :meth:`array_state` arrays."""
+        missing = [key for key in cls.ARRAY_FIELDS if key not in state]
+        if missing:
+            raise ConfigError(
+                f"column index state for {name!r} is missing {missing}"
+            )
+        get = state.__getitem__
+        return cls(
+            name=name,
+            stats=get("stats"),
+            hist=HistogramArrays(
+                edges=get("hist.edges"),
+                depths=get("hist.depths"),
+                distincts=get("hist.distincts"),
+                totals=get("hist.totals"),
+                has=get("hist.has"),
+            ),
+            hh_lookup=KeyedFrequencyTable(
+                keys=get("hh_lookup.keys"),
+                parts=get("hh_lookup.parts"),
+                values=get("hh_lookup.values"),
+            ),
+            hh_strings=SubstringTable(
+                unique_values=get("hh_strings.unique_values"),
+                codes=get("hh_strings.codes"),
+                parts=get("hh_strings.parts"),
+                weights=get("hh_strings.weights"),
+            ),
+            hh_covered=get("hh_covered"),
+            ed_usable=get("ed_usable"),
+            ed_totals=get("ed_totals"),
+            ed_lookup=KeyedFrequencyTable(
+                keys=get("ed_lookup.keys"),
+                parts=get("ed_lookup.parts"),
+                values=get("ed_lookup.values"),
+            ),
+            ed_strings=SubstringTable(
+                unique_values=get("ed_strings.unique_values"),
+                codes=get("ed_strings.codes"),
+                parts=get("ed_strings.parts"),
+                weights=get("ed_strings.weights"),
+            ),
+        )
+
     def occurrence_matrix(
         self, values: tuple, start: int = 0, stop: int | None = None
     ) -> np.ndarray:
@@ -464,6 +559,23 @@ class ColumnarSketchIndex:
             return self.columns[name]
         except KeyError:
             raise QueryScopeError(f"no statistics for column {name!r}") from None
+
+    def array_state(self) -> dict[str, dict[str, np.ndarray]]:
+        """Flat ``column -> field -> array`` view of the whole index."""
+        return {
+            name: column.array_state() for name, column in self.columns.items()
+        }
+
+    @classmethod
+    def from_array_state(
+        cls, state: dict[str, dict[str, np.ndarray]], num_partitions: int
+    ) -> ColumnarSketchIndex:
+        """Rebuild an index from persisted :meth:`array_state` arrays."""
+        columns = {
+            name: ColumnIndex.from_array_state(name, column_state)
+            for name, column_state in state.items()
+        }
+        return cls(columns, num_partitions)
 
     def extend(self, dataset: DatasetStatistics) -> int:
         """Absorb partitions appended to ``dataset`` since the last build.

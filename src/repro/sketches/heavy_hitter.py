@@ -90,6 +90,49 @@ class HeavyHitterSketch:
             self._update_block(values[start:stop])
             start = stop
 
+    @classmethod
+    def from_distinct_counts(
+        cls,
+        uniques: np.ndarray,
+        counts: np.ndarray,
+        support: float = 0.01,
+        epsilon: float | None = None,
+    ) -> HeavyHitterSketch:
+        """Build from pre-aggregated ``(distinct value, count)`` pairs.
+
+        Replays ``build(values, ...)`` for a partition whose rows fit in a
+        single lossy-counting block (``total <= ceil(1/epsilon)``): every
+        distinct enters with delta 0 in sorted order (the ``np.unique``
+        order the streaming update uses) and boundary pruning fires iff
+        the block ends exactly on a bucket boundary. Partitions larger
+        than one block depend on row order, which pre-aggregated counts
+        cannot replay — the batched builder falls back to ``build`` on
+        the raw slice there; this constructor raises ``ConfigError``.
+        """
+        sketch = cls(support=support, epsilon=epsilon)
+        if isinstance(uniques, np.ndarray):
+            uniques = uniques.tolist()  # scalar plane's per-entry .item()
+        if isinstance(counts, np.ndarray):
+            counts = counts.tolist()
+        total = int(sum(counts))
+        if total == 0:
+            return sketch
+        if total > sketch._width:
+            raise ConfigError(
+                "partition exceeds one lossy-counting block; "
+                "build from the raw values instead"
+            )
+        sketch._entries = {
+            value: _Entry(float(count), 0.0)
+            for value, count in zip(uniques, counts)
+        }
+        sketch.total = total
+        new_bucket = total // sketch._width + 1
+        if new_bucket != 1:
+            sketch._bucket = int(new_bucket)
+            sketch._prune()
+        return sketch
+
     def _update_block(self, values: np.ndarray) -> None:
         self._invalidate()
         uniques, counts = np.unique(values, return_counts=True)

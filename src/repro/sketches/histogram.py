@@ -97,6 +97,105 @@ class EquiDepthHistogram:
             hash_array(values).astype(np.float64), buckets=buckets, hashed=True
         )
 
+    @classmethod
+    def build_segmented(
+        cls,
+        values: np.ndarray,
+        counts: np.ndarray,
+        seg_offsets: np.ndarray,
+        buckets: int = 10,
+        hashed: bool = False,
+    ) -> list[EquiDepthHistogram]:
+        """Histograms for many partitions from per-partition sorted distincts.
+
+        ``values`` and ``counts`` hold every partition's distinct values
+        (sorted ascending within each partition, each with multiplicity
+        >= 1); partition ``p`` owns ``seg_offsets[p]:seg_offsets[p+1]``.
+        Matches ``build(partition_values, buckets)`` bit for bit: the
+        greedy bucket-closing walk is replayed with one vectorized
+        ``searchsorted`` per bucket level across *all* partitions instead
+        of a per-distinct Python loop per partition — the cumulative
+        count vector is strictly increasing globally, so "first distinct
+        where the running count reaches the target" is a binary search.
+        """
+        if buckets < 1:
+            raise ConfigError("histogram needs at least one bucket")
+        seg_offsets = np.asarray(seg_offsets, dtype=np.int64)
+        n = len(seg_offsets) - 1
+        if n == 0:
+            return []
+        values = np.asarray(values, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.int64)
+        starts = seg_offsets[:-1]
+        ends = seg_offsets[1:]
+        ndistinct = ends - starts
+        cum = np.cumsum(counts)
+        cum0 = np.concatenate(([0], cum))
+        base = cum0[starts]
+        totals = cum0[ends] - base
+        targets = np.maximum(
+            np.ceil(totals / buckets).astype(np.int64), 1
+        )
+        # Replay the greedy walk, one bucket level at a time: every still-
+        # building partition finds its next closing distinct via one shared
+        # searchsorted over the global cumulative-count vector.
+        closes = np.full((n, buckets), -1, dtype=np.int64)
+        n_closes = np.zeros(n, dtype=np.int64)
+        threshold = base + targets
+        active = np.flatnonzero((ndistinct >= 2) & (totals > 0))
+        while active.size:
+            j = np.searchsorted(cum, threshold[active], side="left")
+            within = j < ends[active]
+            closed = active[within]
+            jc = j[within]
+            closes[closed, n_closes[closed]] = jc
+            n_closes[closed] += 1
+            threshold[closed] = cum[jc] + targets[closed]
+            active = closed[jc < ends[closed] - 1]
+        out = []
+        for p in range(n):
+            total = int(totals[p])
+            if total == 0:
+                out.append(
+                    cls(
+                        np.zeros(2),
+                        np.zeros(1, np.int64),
+                        np.zeros(1, np.int64),
+                        0,
+                        hashed,
+                    )
+                )
+                continue
+            s, e = int(starts[p]), int(ends[p])
+            if ndistinct[p] == 1:
+                value = values[s]
+                out.append(
+                    cls(
+                        np.array([value, value]),
+                        np.array([total], np.int64),
+                        np.array([1], np.int64),
+                        total,
+                        hashed,
+                    )
+                )
+                continue
+            js = closes[p, : int(n_closes[p])]
+            if js.size == 0 or js[-1] != e - 1:  # leftover rows after last close
+                js = np.concatenate([js, [e - 1]])
+            edges = np.concatenate([values[s : s + 1], values[js]])
+            depths = np.diff(np.concatenate(([base[p]], cum[js])))
+            distincts = np.diff(np.concatenate(([s - 1], js)))
+            out.append(
+                cls(
+                    edges.astype(np.float64),
+                    depths.astype(np.int64),
+                    distincts.astype(np.int64),
+                    total,
+                    hashed,
+                )
+            )
+        return out
+
     @property
     def num_buckets(self) -> int:
         return len(self.depths)

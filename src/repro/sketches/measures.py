@@ -114,6 +114,77 @@ class MeasuresSketch:
     def log_max_value(self) -> float:
         return self.log_maximum if (self.track_log and self.count) else 0.0
 
+    # -- batch construction ------------------------------------------------
+
+    @classmethod
+    def build_segmented(
+        cls, values: np.ndarray, offsets: np.ndarray, track_log: bool = False
+    ) -> list[MeasuresSketch]:
+        """Per-partition measures over a fused column in one chunked pass.
+
+        ``values`` is the concatenation of every partition's column and
+        ``offsets`` the partition boundaries (``offsets[p]:offsets[p+1]``
+        is partition ``p``; segments must be non-empty). Matches
+        ``MeasuresSketch(track_log=...).update(slice)`` bit for bit:
+        sums reuse ``ndarray.sum`` on the same slices so the pairwise
+        summation chains are identical, extrema come from vectorized
+        ``reduceat``, and the log channel applies the same
+        disable-on-nonpositive guard per partition.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = len(offsets) - 1
+        if n == 0:
+            return []
+        values = np.asarray(values, dtype=np.float64)
+        mins = np.minimum.reduceat(values, offsets[:-1])
+        maxs = np.maximum.reduceat(values, offsets[:-1])
+        # reduceat propagates NaN, but the scalar plane's
+        # min(default, float(nan)) keeps the default (NaN comparisons are
+        # False) and its nonpositive guard `nan <= 0.0` keeps the log
+        # channel *enabled* (log moments go NaN, log extrema keep their
+        # defaults). Replay all of that exactly for NaN segments.
+        nan_seg = np.isnan(mins)
+        squares = np.square(values)
+        logs = log_squares = None
+        if track_log and bool((mins > 0.0).all()):
+            logs = np.log(values)
+            log_squares = np.square(logs)
+        out = []
+        for p in range(n):
+            sketch = cls(track_log=track_log)
+            lo, hi = int(offsets[p]), int(offsets[p + 1])
+            if hi == lo:  # update() is a no-op on empty batches
+                out.append(sketch)
+                continue
+            has_nan = bool(nan_seg[p])
+            sketch.count = hi - lo
+            # 0.0 + x replays the scalar accumulation from the default.
+            sketch.total = 0.0 + float(values[lo:hi].sum())
+            sketch.total_sq = 0.0 + float(squares[lo:hi].sum())
+            if not has_nan:
+                sketch.minimum = float(mins[p])
+                sketch.maximum = float(maxs[p])
+            if track_log:
+                if not has_nan and float(mins[p]) <= 0.0:
+                    sketch.track_log = False
+                elif has_nan:
+                    # Scalar: np.log over a NaN-bearing slice -> NaN sums;
+                    # extrema keep their inf/-inf defaults.
+                    sketch.log_total = float("nan")
+                    sketch.log_total_sq = float("nan")
+                else:
+                    if logs is None:  # some other partition was nonpositive
+                        logs = np.log(
+                            np.where(values > 0.0, values, 1.0)
+                        )
+                        log_squares = np.square(logs)
+                    sketch.log_total = 0.0 + float(logs[lo:hi].sum())
+                    sketch.log_total_sq = 0.0 + float(log_squares[lo:hi].sum())
+                    sketch.log_minimum = float(np.log(mins[p]))
+                    sketch.log_maximum = float(np.log(maxs[p]))
+            out.append(sketch)
+        return out
+
     # -- serialization -----------------------------------------------------
 
     def size_bytes(self) -> int:

@@ -192,6 +192,11 @@ class FeatureBuilder:
     ``features_for_query`` applies the query mask and appends fresh
     selectivity estimates from a compiled predicate plan (or the scalar
     per-partition estimator when ``vectorized`` is off).
+
+    Passing ``index`` (e.g. the one
+    ``repro.storage.load_statistics_bundle`` rehydrated from disk) skips
+    the sketch-object -> array export entirely — the cold-start saving
+    the persisted-index format exists for.
     """
 
     def __init__(
@@ -200,6 +205,7 @@ class FeatureBuilder:
         groupby_columns: tuple[str, ...],
         vectorized: bool = True,
         plan_cache: PlanCache | None = None,
+        index: ColumnarSketchIndex | None = None,
     ) -> None:
         for name in groupby_columns:
             if name not in dataset.schema:
@@ -222,7 +228,16 @@ class FeatureBuilder:
             groupby_columns=tuple(groupby_columns),
             bitmap_widths=widths,
         )
-        self._index = ColumnarSketchIndex.build(dataset)
+        if index is not None:
+            if index.num_partitions != dataset.num_partitions:
+                raise ConfigError(
+                    "persisted columnar index covers "
+                    f"{index.num_partitions} partitions but the statistics "
+                    f"have {dataset.num_partitions}; rebuild or re-save it"
+                )
+            self._index = index
+        else:
+            self._index = ColumnarSketchIndex.build(dataset)
         self._static = self._static_rows(0, dataset.num_partitions)
         # Last partition the index has absorbed: lets refresh() distinguish
         # pure appends (incremental) from wholesale replacement (rebuild).

@@ -277,7 +277,9 @@ class PredicatePlan:
                     high += r.high
                     indep = np.minimum(indep, r.indep)
                 leaves = [leaf for r in results for leaf in r.leaves]
-                stack.append(_BatchResult(_clip(low), _clip(high), _clip(indep), leaves))
+                stack.append(
+                    _BatchResult(_clip(low), _clip(high), _clip(indep), leaves)
+                )
             else:  # pragma: no cover - compile only emits the ops above
                 raise QueryScopeError(f"unknown plan op {type(op).__name__}")
         result = stack.pop()
@@ -319,6 +321,17 @@ class PlanCache:
 
     def __len__(self) -> int:
         return len(self._plans)
+
+    def keys(self) -> tuple[str, ...]:
+        """Sorted ``repr`` keys of the cached predicates (diagnostics).
+
+        Beware when persisting: a shared cache (the default for
+        ``FeatureBuilder``) accumulates predicates from *every* workload
+        in the process, so artifacts scoped to one deployment should
+        derive their keys from that deployment's own queries the way
+        ``cli train`` does, not from here.
+        """
+        return tuple(sorted(repr(predicate) for predicate in self._plans))
 
     def clear(self) -> None:
         self._plans.clear()

@@ -140,7 +140,9 @@ def _in_estimate(clause: InSet, stats: ColumnStatistics) -> float:
     return _clip(total)
 
 
-def _contains_estimate(clause: Contains, stats: ColumnStatistics) -> tuple[float, float]:
+def _contains_estimate(
+    clause: Contains, stats: ColumnStatistics
+) -> tuple[float, float]:
     """(estimate, upper) for a substring filter.
 
     With an exact dictionary the answer is exact. Otherwise we can only

@@ -14,6 +14,18 @@ provides pickle-free on-disk formats:
 """
 
 from repro.storage.model_io import load_model, save_model
-from repro.storage.stats_io import load_statistics, save_statistics
+from repro.storage.stats_io import (
+    StatisticsBundle,
+    load_statistics,
+    load_statistics_bundle,
+    save_statistics,
+)
 
-__all__ = ["load_model", "load_statistics", "save_model", "save_statistics"]
+__all__ = [
+    "StatisticsBundle",
+    "load_model",
+    "load_statistics",
+    "load_statistics_bundle",
+    "save_model",
+    "save_statistics",
+]

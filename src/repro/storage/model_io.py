@@ -20,6 +20,7 @@ from repro.core.training import PickerModel
 from repro.errors import ConfigError
 from repro.ml.gbrt import GBRTRegressor
 from repro.sketches.builder import DatasetStatistics
+from repro.sketches.columnar import ColumnarSketchIndex
 from repro.stats.features import FeatureBuilder
 from repro.stats.normalization import Normalizer
 
@@ -42,18 +43,25 @@ def save_model(model: PickerModel, path: str | Path) -> None:
     Path(path).write_text(json.dumps(payload))
 
 
-def load_model(path: str | Path, statistics: DatasetStatistics) -> PickerModel:
+def load_model(
+    path: str | Path,
+    statistics: DatasetStatistics,
+    index: ColumnarSketchIndex | None = None,
+) -> PickerModel:
     """Read a model and re-bind it to (freshly loaded) statistics.
 
     The statistics must describe the same dataset/workload the model was
     trained for; the feature dimension is cross-checked to catch obvious
     mismatches (schema drift requires retraining, paper section 7).
+    Passing the persisted columnar ``index`` (from
+    ``load_statistics_bundle``) lets the rebound feature builder skip
+    the sketch-object export on cold start.
     """
     payload = json.loads(Path(path).read_text())
     if payload.get("version") != _MAGIC_VERSION:
         raise ConfigError(f"unsupported model file version {payload.get('version')!r}")
     feature_builder = FeatureBuilder(
-        statistics, tuple(payload["groupby_columns"])
+        statistics, tuple(payload["groupby_columns"]), index=index
     )
     if feature_builder.schema.dimension != payload["feature_dimension"]:
         raise ConfigError(

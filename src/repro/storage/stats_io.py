@@ -2,20 +2,40 @@
 
 Layout of a ``.ps3stats`` file::
 
-    [8-byte little-endian manifest length][manifest JSON][sketch blob]
+    [8-byte little-endian manifest length][manifest JSON][binary blob]
 
 The manifest records the schema (so loading is self-describing), the
 sketch configuration, the global heavy hitters, and for every partition
 and column the (offset, length) of each sketch encoding inside the blob.
 Sketch bytes are exactly the ``to_bytes`` encodings the sketches define,
 so storage accounting matches what Table 4 measures.
+
+Version 2 adds two optional cold-start artifacts, both backward- and
+forward-compatible with the sketch blob:
+
+* the :class:`~repro.sketches.columnar.ColumnarSketchIndex` arrays, so
+  ``load_statistics_bundle`` rehydrates the columnar index directly from
+  disk instead of re-exporting every sketch object (the dominant cold
+  start cost at high partition counts); each array is stored raw in the
+  blob with its dtype/shape in the manifest;
+* the predicate-plan keys of the saved workload (``repr`` strings) —
+  diagnostic metadata recording which compiled plans the deployment's
+  training workload exercised. They are not consumed on load (plans
+  recompile from predicates in milliseconds); they exist so tooling can
+  inspect a deployment without replaying its workload.
+
+Version-1 files (no index section) still load; callers fall back to the
+sketch-object export for the index.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from repro.engine.schema import Column, ColumnKind, Schema
 from repro.errors import ConfigError
@@ -26,12 +46,14 @@ from repro.sketches.builder import (
     PartitionStatistics,
     SketchConfig,
 )
+from repro.sketches.columnar import ColumnarSketchIndex
 from repro.sketches.exact_dict import ExactDictionary
 from repro.sketches.heavy_hitter import HeavyHitterSketch
 from repro.sketches.histogram import EquiDepthHistogram
 from repro.sketches.measures import MeasuresSketch
 
-_MAGIC_VERSION = 1
+_MAGIC_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 _SKETCH_TYPES = {
     "measures": MeasuresSketch,
@@ -80,20 +102,85 @@ def _schema_from_json(columns: list[dict]) -> Schema:
     )
 
 
-def save_statistics(stats: DatasetStatistics, path: str | Path) -> None:
-    """Write dataset statistics to ``path`` (single binary file)."""
+def _encode_array(arr: np.ndarray, blob: bytearray) -> list:
+    """Append ``arr`` to the blob; return its manifest entry."""
+    arr = np.ascontiguousarray(arr)
+    encoded = arr.tobytes()
+    entry = [len(blob), len(encoded), arr.dtype.str, list(arr.shape)]
+    blob.extend(encoded)
+    return entry
+
+
+def _decode_array(entry: list, blob: bytes) -> np.ndarray:
+    offset, length, dtype_str, shape = entry
+    if offset < 0 or length < 0 or offset + length > len(blob):
+        raise ConfigError("corrupt statistics index: array out of bounds")
+    try:
+        dtype = np.dtype(dtype_str)
+        return (
+            np.frombuffer(blob[offset : offset + length], dtype=dtype)
+            .reshape(shape)
+            .copy()
+        )
+    except (TypeError, ValueError) as error:
+        raise ConfigError(f"corrupt statistics index: {error}") from None
+
+
+@dataclass
+class StatisticsBundle:
+    """Everything a cold start needs: statistics plus optional artifacts.
+
+    ``index`` is ``None`` for version-1 files or files saved without an
+    index — callers fall back to the sketch-object export
+    (``ColumnarSketchIndex.build``). ``plan_cache_keys`` is a diagnostic
+    record of the predicate plans the saved workload exercised (``repr``
+    strings; not consumed on load).
+    """
+
+    statistics: DatasetStatistics
+    index: ColumnarSketchIndex | None = None
+    plan_cache_keys: tuple[str, ...] = field(default_factory=tuple)
+
+
+def save_statistics(
+    stats: DatasetStatistics,
+    path: str | Path,
+    *,
+    index: ColumnarSketchIndex | None = None,
+    plan_cache_keys: tuple[str, ...] = (),
+) -> None:
+    """Write dataset statistics to ``path`` (single binary file).
+
+    Pass the live :class:`ColumnarSketchIndex` (e.g.
+    ``feature_builder.sketch_index``) to persist its arrays alongside
+    the sketches; ``load_statistics_bundle`` then skips the export on
+    reload.
+    """
+    if index is not None:
+        if index.num_partitions != stats.num_partitions:
+            raise ConfigError(
+                "columnar index covers "
+                f"{index.num_partitions} partitions but statistics have "
+                f"{stats.num_partitions}; refresh the index before saving"
+            )
+        schema_columns = {column.name for column in stats.schema}
+        if set(index.columns) != schema_columns:
+            raise ConfigError(
+                "columnar index columns do not match the statistics "
+                "schema; it was built from a different dataset"
+            )
     blob = bytearray()
     partitions_manifest = []
     for pstats in stats.partitions:
         columns_manifest: dict[str, dict] = {}
         for name, cstats in pstats.columns.items():
             entry: dict[str, list[int]] = {}
-            for field in _SKETCH_FIELDS:
-                sketch = getattr(cstats, field)
+            for sketch_field in _SKETCH_FIELDS:
+                sketch = getattr(cstats, sketch_field)
                 if sketch is None:
                     continue
                 encoded = sketch.to_bytes()
-                entry[field] = [len(blob), len(encoded)]
+                entry[sketch_field] = [len(blob), len(encoded)]
                 blob.extend(encoded)
             columns_manifest[name] = entry
         partitions_manifest.append(
@@ -120,6 +207,19 @@ def save_statistics(stats: DatasetStatistics, path: str | Path) -> None:
         },
         "partitions": partitions_manifest,
     }
+    if index is not None:
+        manifest["index"] = {
+            "num_partitions": index.num_partitions,
+            "columns": {
+                name: {
+                    key: _encode_array(arr, blob)
+                    for key, arr in column_state.items()
+                }
+                for name, column_state in index.array_state().items()
+            },
+        }
+    if plan_cache_keys:
+        manifest["plan_cache_keys"] = list(plan_cache_keys)
     header = json.dumps(manifest).encode("utf-8")
     with open(path, "wb") as handle:
         handle.write(struct.pack("<Q", len(header)))
@@ -127,16 +227,19 @@ def save_statistics(stats: DatasetStatistics, path: str | Path) -> None:
         handle.write(bytes(blob))
 
 
-def load_statistics(path: str | Path) -> DatasetStatistics:
-    """Read dataset statistics written by :func:`save_statistics`."""
+def _read_manifest(path: str | Path) -> tuple[dict, bytes]:
     with open(path, "rb") as handle:
         (header_size,) = struct.unpack("<Q", handle.read(8))
         manifest = json.loads(handle.read(header_size).decode("utf-8"))
         blob = handle.read()
-    if manifest.get("version") != _MAGIC_VERSION:
+    if manifest.get("version") not in _SUPPORTED_VERSIONS:
         raise ConfigError(
             f"unsupported statistics file version {manifest.get('version')!r}"
         )
+    return manifest, blob
+
+
+def _statistics_from_manifest(manifest: dict, blob: bytes) -> DatasetStatistics:
     schema = _schema_from_json(manifest["schema"])
     config = SketchConfig(**manifest["config"])
     partitions = []
@@ -144,10 +247,10 @@ def load_statistics(path: str | Path) -> DatasetStatistics:
         columns: dict[str, ColumnStatistics] = {}
         for name, entry in pmanifest["columns"].items():
             cstats = ColumnStatistics(column=schema[name])
-            for field, (offset, length) in entry.items():
-                sketch_type = _SKETCH_TYPES[field]
+            for sketch_field, (offset, length) in entry.items():
+                sketch_type = _SKETCH_TYPES[sketch_field]
                 payload = blob[offset : offset + length]
-                setattr(cstats, field, sketch_type.from_bytes(payload))
+                setattr(cstats, sketch_field, sketch_type.from_bytes(payload))
             columns[name] = cstats
         partitions.append(
             PartitionStatistics(
@@ -162,3 +265,55 @@ def load_statistics(path: str | Path) -> DatasetStatistics:
         for column, values in manifest["global_heavy_hitters"].items()
     }
     return stats
+
+
+def _index_from_manifest(
+    manifest: dict, blob: bytes, stats: DatasetStatistics
+) -> ColumnarSketchIndex | None:
+    index_manifest = manifest.get("index")
+    if index_manifest is None:
+        return None
+    try:
+        num_partitions = int(index_manifest["num_partitions"])
+        state = {
+            name: {
+                key: _decode_array(entry, blob)
+                for key, entry in column_state.items()
+            }
+            for name, column_state in index_manifest["columns"].items()
+        }
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigError(f"corrupt statistics index section: {error}") from None
+    if num_partitions != stats.num_partitions:
+        raise ConfigError(
+            "corrupt statistics index: covers "
+            f"{num_partitions} partitions, statistics have "
+            f"{stats.num_partitions}"
+        )
+    if set(state) != set(stats.schema.names):
+        raise ConfigError(
+            "corrupt statistics index: columns do not match the schema"
+        )
+    return ColumnarSketchIndex.from_array_state(state, num_partitions)
+
+
+def load_statistics(path: str | Path) -> DatasetStatistics:
+    """Read dataset statistics written by :func:`save_statistics`."""
+    manifest, blob = _read_manifest(path)
+    return _statistics_from_manifest(manifest, blob)
+
+
+def load_statistics_bundle(path: str | Path) -> StatisticsBundle:
+    """Read statistics plus the persisted cold-start artifacts.
+
+    For version-1 files (or files saved without an index) the bundle's
+    ``index`` is ``None`` and callers should fall back to
+    ``ColumnarSketchIndex.build`` — the pre-PR-5 export path.
+    """
+    manifest, blob = _read_manifest(path)
+    stats = _statistics_from_manifest(manifest, blob)
+    return StatisticsBundle(
+        statistics=stats,
+        index=_index_from_manifest(manifest, blob, stats),
+        plan_cache_keys=tuple(manifest.get("plan_cache_keys", ())),
+    )

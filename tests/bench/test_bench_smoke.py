@@ -50,6 +50,24 @@ def test_perf_benches_exist():
     assert "bench_perf_batch_executor.py" in names
     assert "bench_perf_workload_executor.py" in names
     assert "bench_perf_estimation_plane.py" in names
+    assert "bench_perf_sketch_plane.py" in names
+
+
+def test_every_perf_bench_has_smoke_entry():
+    """Bench-rot guard: every perf bench on disk is in the smoke sweep.
+
+    ``PERF_BENCHES`` drives the parametrization of
+    ``test_perf_bench_main_path``; if it ever drifts from the files on
+    disk (e.g. someone replaces the glob with a hand-maintained list), a
+    new ``bench_perf_*.py`` could land unsmoked. CI runs this module
+    explicitly as its bench-rot gate.
+    """
+    on_disk = sorted(p.name for p in BENCH_DIR.glob("bench_perf_*.py"))
+    smoked = sorted(p.name for p in PERF_BENCHES)
+    assert smoked, "no perf benches collected — the smoke sweep is empty"
+    assert smoked == on_disk, (
+        f"perf benches without a smoke entry: {set(on_disk) - set(smoked)}"
+    )
 
 
 @pytest.mark.parametrize("path", PERF_BENCHES, ids=lambda p: p.stem)
@@ -81,3 +99,12 @@ def test_perf_bench_main_path(path, tmp_path, monkeypatch):
             assert row["bit_identical"] is True
             assert row["dict_ms"] > 0.0 and row["block_ms"] > 0.0
             assert row["candidates"] > 0
+    if bench_name == "perf_sketch_plane":
+        # Build and cold-start claims are both parity-gated; the flag and
+        # both timing pairs must survive schema drift.
+        for row in persisted["results"]:
+            assert row["bit_identical"] is True
+            assert row["scalar_build_ms"] > 0.0
+            assert row["vectorized_build_ms"] > 0.0
+            assert row["cold_export_ms"] > 0.0 and row["cold_index_ms"] > 0.0
+            assert row["cold_speedup"] > 0.0

@@ -30,7 +30,9 @@ class TestBudgetHandling:
         result = picker.select(grouped_query, budget=5)
         assert len(result.selection) == 5
 
-    def test_budget_above_passing_returns_exact(self, picker, grouped_query, tpch_ptable):
+    def test_budget_above_passing_returns_exact(
+        self, picker, grouped_query, tpch_ptable
+    ):
         result = picker.select(grouped_query, budget=tpch_ptable.num_partitions)
         assert all(c.weight == 1.0 for c in result.selection)
 
@@ -96,7 +98,9 @@ class TestComponentToggles:
         result = picker.select(grouped_query, budget=5)
         assert len(result.group_sizes) == 1
 
-    def test_lesion_no_clustering_uses_random(self, trained_ps3, grouped_query, tpch_ptable):
+    def test_lesion_no_clustering_uses_random(
+        self, trained_ps3, grouped_query, tpch_ptable
+    ):
         picker = PS3Picker(
             trained_ps3.model,
             trained_ps3.statistics,

@@ -38,10 +38,22 @@ SCHEMA = Schema.of(
 
 QUERIES = [
     Query([sum_of(col("x")), count_star()], Comparison("x", ">", 4.0), ("cat",)),
-    Query([avg_of(col("y"))], Or([Comparison("y", "<", -2.0), Comparison("y", ">", 2.0)]), ("cat", "d")),
-    Query([count_star(), avg_of(col("x")), sum_of(col("x"))], InSet("cat", {"a", "c"}), ("d",)),
+    Query(
+        [avg_of(col("y"))],
+        Or([Comparison("y", "<", -2.0), Comparison("y", ">", 2.0)]),
+        ("cat", "d"),
+    ),
+    Query(
+        [count_star(), avg_of(col("x")), sum_of(col("x"))],
+        InSet("cat", {"a", "c"}),
+        ("d",),
+    ),
     Query([sum_of(col("x") + col("y"))], None, ()),
-    Query([count_star()], And([Comparison("x", ">", 2.0), Comparison("d", "<", 6.0)]), ()),
+    Query(
+        [count_star()],
+        And([Comparison("x", ">", 2.0), Comparison("d", "<", 6.0)]),
+        (),
+    ),
     # Matches nothing anywhere: empty truth on both paths.
     Query([sum_of(col("x")), count_star()], Comparison("x", ">", 1e12), ("cat",)),
 ]

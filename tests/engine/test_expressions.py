@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.engine.expressions import BinOp, ColumnRef, Const, col
+from repro.engine.expressions import BinOp, Const, col
 from repro.errors import ExecutionError, QueryScopeError
 
 

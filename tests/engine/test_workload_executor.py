@@ -227,11 +227,19 @@ class TestEdgeCases:
     def _edge_queries(self):
         return [
             # Matches zero rows everywhere.
-            Query([sum_of(col("x")), count_star()], Comparison("y", ">", 1e9), ("cat",)),
+            Query(
+                [sum_of(col("x")), count_star()],
+                Comparison("y", ">", 1e9),
+                ("cat",),
+            ),
             Query([count_star()], Comparison("y", ">", 1e9)),
             # Matches rows in only some partitions (d is sorted-ish ranges
             # on the partitioned fixture below).
-            Query([count_star(), avg_of(col("x"))], Comparison("d", "==", 0.0), ("cat",)),
+            Query(
+                [count_star(), avg_of(col("x"))],
+                Comparison("d", "==", 0.0),
+                ("cat",),
+            ),
             Query([sum_of(col("y"))], Comparison("d", "<", 2.0)),
         ]
 

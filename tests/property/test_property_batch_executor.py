@@ -161,10 +161,17 @@ class TestEndToEndPickerParity:
 
     def _train_queries(self):
         return [
-            Query([sum_of(col("x")), count_star()], Comparison("x", ">", 5.0), ("cat",)),
+            Query(
+                [sum_of(col("x")), count_star()],
+                Comparison("x", ">", 5.0),
+                ("cat",),
+            ),
             Query([avg_of(col("y"))], InSet("cat", {"a", "b"}), ("cat",)),
             Query([count_star()], Comparison("d", "<", 50.0), ("d",)),
-            Query([sum_of(col("y"))], Or([Comparison("y", ">", 2.0), InSet("cat", {"c"})])),
+            Query(
+                [sum_of(col("y"))],
+                Or([Comparison("y", ">", 2.0), InSet("cat", {"c"})]),
+            ),
             Query([sum_of(col("x"))], None, ("cat", "d")),
         ]
 

@@ -45,7 +45,12 @@ def queries(draw):
     aggregates = draw(
         st.lists(
             st.sampled_from(
-                [sum_of(col("v")), avg_of(col("w")), count_star(), sum_of(col("v") + col("w"))]
+                [
+                    sum_of(col("v")),
+                    avg_of(col("w")),
+                    count_star(),
+                    sum_of(col("v") + col("w")),
+                ]
             ),
             min_size=1,
             max_size=3,

@@ -1,0 +1,400 @@
+"""Differential suite: the vectorized sketch-build plane vs the scalar oracle.
+
+``build_dataset_statistics(vectorized=True)`` (the default) must be
+*bit-identical* to the per-partition constructor loop
+(``vectorized=False``) — serialized sketch encodings, the raw
+lossy-counting entry state (including deltas and insertion order, which
+drive global-heavy-hitter merges), and the global heavy hitters all
+compared exactly. The append path is pinned too: sealing partitions one
+at a time and extending the columnar index must agree bit for bit with a
+from-scratch vectorized build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.layout import append_rows, partition_evenly, sort_table
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.table import Table
+from repro.sketches.builder import (
+    SketchConfig,
+    append_partition_statistics,
+    build_dataset_statistics,
+)
+from repro.sketches.columnar import ColumnarSketchIndex
+
+_SKETCH_FIELDS = ("measures", "histogram", "akmv", "heavy_hitter", "exact_dict")
+
+
+def _values_identical(a, b) -> bool:
+    """Equality that treats NaN as equal to itself (bitwise intent)."""
+    return a == b or (a != a and b != b)
+
+
+def assert_statistics_identical(expected, actual):
+    """Bitwise comparison of two DatasetStatistics."""
+    assert actual.num_partitions == expected.num_partitions
+    assert set(actual.global_heavy_hitters) == set(expected.global_heavy_hitters)
+    for name, hitters in expected.global_heavy_hitters.items():
+        other = actual.global_heavy_hitters[name]
+        assert len(other) == len(hitters), name
+        assert all(map(_values_identical, hitters, other)), name
+    for p in range(expected.num_partitions):
+        pe, pa = expected.partitions[p], actual.partitions[p]
+        assert pa.partition_index == pe.partition_index
+        assert pa.num_rows == pe.num_rows
+        assert list(pa.columns) == list(pe.columns)
+        for name in pe.columns:
+            ce, ca = pe.columns[name], pa.columns[name]
+            for field in _SKETCH_FIELDS:
+                se, sa = getattr(ce, field), getattr(ca, field)
+                assert (se is None) == (sa is None), (p, name, field)
+                if se is not None:
+                    assert sa.to_bytes() == se.to_bytes(), (p, name, field)
+            he, ha = ce.heavy_hitter, ca.heavy_hitter
+            if he is not None:
+                # Raw automaton state, not just the reported items: the
+                # entry order and deltas feed the global-HH merge.
+                actual_entries = [
+                    (key, entry.count, entry.delta)
+                    for key, entry in ha._entries.items()
+                ]
+                expected_entries = [
+                    (key, entry.count, entry.delta)
+                    for key, entry in he._entries.items()
+                ]
+                assert len(actual_entries) == len(expected_entries), (p, name)
+                assert all(
+                    _values_identical(x, y)
+                    for a, e in zip(actual_entries, expected_entries)
+                    for x, y in zip(a, e)
+                ), (p, name)
+                assert ha.total == he.total and ha._bucket == he._bucket
+
+
+def assert_indexes_identical(expected, actual):
+    """Bitwise comparison of two ColumnarSketchIndex array sets."""
+    assert actual.num_partitions == expected.num_partitions
+    assert set(actual.columns) == set(expected.columns)
+    for name, column in expected.columns.items():
+        other = actual.columns[name].array_state()
+        for key, arr in column.array_state().items():
+            assert arr.dtype == other[key].dtype, (name, key)
+            np.testing.assert_array_equal(arr, other[key], err_msg=f"{name}.{key}")
+
+
+@pytest.fixture(scope="module")
+def skewed_table():
+    schema = Schema.of(
+        Column("x", ColumnKind.NUMERIC, positive=True),
+        Column("y", ColumnKind.NUMERIC),
+        Column("d", ColumnKind.DATE),
+        Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+        Column("tag", ColumnKind.CATEGORICAL),
+    )
+    gen = np.random.default_rng(41)
+    n = 900
+    return Table(
+        schema,
+        {
+            "x": gen.exponential(10.0, n) + 1.0,
+            "y": gen.normal(0.0, 5.0, n),
+            "d": gen.integers(0, 60, n),
+            "cat": gen.choice(["a", "b", "c", "dd"], n, p=[0.6, 0.2, 0.15, 0.05]),
+            "tag": gen.choice([f"t{i:03d}" for i in range(200)], n),
+        },
+    )
+
+
+class TestVectorizedBuilderParity:
+    def test_default_config(self, tiny_ptable):
+        assert_statistics_identical(
+            build_dataset_statistics(tiny_ptable, vectorized=False),
+            build_dataset_statistics(tiny_ptable, vectorized=True),
+        )
+
+    @pytest.mark.parametrize("num_partitions", [1, 7, 12])
+    def test_partitioning_shapes(self, skewed_table, num_partitions):
+        ptable = partition_evenly(skewed_table, num_partitions)
+        assert_statistics_identical(
+            build_dataset_statistics(ptable, vectorized=False),
+            build_dataset_statistics(ptable, vectorized=True),
+        )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SketchConfig(histogram_buckets=1),
+            SketchConfig(histogram_buckets=3, akmv_k=4, exact_dict_limit=3),
+            # epsilon large enough that partitions exceed one lossy-counting
+            # block: exercises the streaming fallback inside the batch plane.
+            SketchConfig(hh_support=0.2, hh_epsilon=0.19),
+        ],
+        ids=["one-bucket", "tiny-caps", "hh-streaming-fallback"],
+    )
+    def test_config_corners(self, skewed_table, config):
+        ptable = partition_evenly(sort_table(skewed_table, "d"), 9)
+        assert_statistics_identical(
+            build_dataset_statistics(ptable, config, vectorized=False),
+            build_dataset_statistics(ptable, config, vectorized=True),
+        )
+
+    def test_degenerate_columns(self):
+        """Constant columns, nonpositive 'positive' columns, lone values."""
+        schema = Schema.of(
+            Column("pos", ColumnKind.NUMERIC, positive=True),
+            Column("const", ColumnKind.NUMERIC),
+            Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+        )
+        gen = np.random.default_rng(3)
+        table = Table(
+            schema,
+            {
+                # First partition positive, later ones not: the log channel
+                # must disable per partition exactly like the scalar guard.
+                "pos": np.concatenate([np.full(30, 5.0), gen.normal(0, 1, 30)]),
+                "const": np.full(60, 3.25),
+                "cat": np.array(["only"] * 30 + ["a", "b"] * 15),
+            },
+        )
+        for parts in (1, 2, 4):
+            ptable = partition_evenly(table, parts)
+            assert_statistics_identical(
+                build_dataset_statistics(ptable, vectorized=False),
+                build_dataset_statistics(ptable, vectorized=True),
+            )
+
+    def test_nan_values_match_scalar_semantics(self):
+        """NaN segments keep the scalar plane's odd-but-pinned behavior.
+
+        The scalar ``update`` swallows NaN extrema (``min(inf, nan)``
+        keeps ``inf``) and its nonpositive guard keeps the log channel
+        *enabled* on NaN (moments go NaN, extrema keep defaults);
+        ``reduceat`` would propagate NaN instead. Pinned bit for bit.
+        """
+        schema = Schema.of(
+            Column("x", ColumnKind.NUMERIC),
+            Column("pos", ColumnKind.NUMERIC, positive=True),
+        )
+        table = Table(
+            schema,
+            {
+                "x": np.array([1.0, np.nan, 3.0, 4.0, 5.0, 6.0, np.nan, 8.0]),
+                "pos": np.array([2.0, 3.0, np.nan, 4.0, 5.0, 6.0, 7.0, 8.0]),
+            },
+        )
+        for parts in (1, 2, 4):
+            ptable = partition_evenly(table, parts)
+            assert_statistics_identical(
+                build_dataset_statistics(ptable, vectorized=False),
+                build_dataset_statistics(ptable, vectorized=True),
+            )
+
+    def test_bytes_dtype_categorical_matches_scalar(self):
+        """'S'-dtype columns hash through the float-pack path, not utf-8.
+
+        ``hash_value`` only treats ``str``/``np.str_`` as text; numpy
+        bytes scalars fall through to ``struct.pack("<d", float(v))``.
+        The batched hasher must follow the same rule (it used to crash
+        on ``bytes.encode``).
+        """
+        schema = Schema.of(
+            Column("b", ColumnKind.CATEGORICAL, low_cardinality=True)
+        )
+        values = np.array([b"1", b"2", b"1", b"3", b"2", b"1"])
+        ptable = partition_evenly(Table(schema, {"b": values}), 3)
+        assert_statistics_identical(
+            build_dataset_statistics(ptable, vectorized=False),
+            build_dataset_statistics(ptable, vectorized=True),
+        )
+
+    def test_nan_payload_diversity_matches_scalar(self):
+        """NaNs with distinct bit payloads must survive per partition.
+
+        np.unique collapses every NaN to one representative regardless
+        of payload bits, while the scalar per-partition unique keeps
+        each partition's own NaN — whose bits feed AKMV hashes and
+        histogram edges. Such NaNs take the scalar path wholesale.
+        """
+        weird_nan = np.uint64(0xFFF8000000000001).view(np.float64)
+        values = np.array(
+            [weird_nan, 1.0, 2.0, np.nan, 3.0, 4.0, 5.0, weird_nan]
+        )
+        table = Table(
+            Schema.of(Column("v", ColumnKind.NUMERIC)), {"v": values}
+        )
+        for parts in (1, 2, 4):
+            ptable = partition_evenly(table, parts)
+            assert_statistics_identical(
+                build_dataset_statistics(ptable, vectorized=False),
+                build_dataset_statistics(ptable, vectorized=True),
+            )
+
+    def test_negative_zero_matches_scalar(self):
+        """-0.0 columns take the scalar path: the np.unique representative
+        for a -0.0/0.0 run depends on sort internals, so the global
+        segmented dedup cannot replay the per-partition pick (found by
+        the hypothesis suite: a [-0.0, 0.0, ...] partition produced
+        -0.0 histogram edges where the oracle produced 0.0)."""
+        gen = np.random.default_rng(5)
+        values = gen.choice([-0.0, 0.0, 1.5, -2.5], 113)
+        table = Table(
+            Schema.of(Column("v", ColumnKind.NUMERIC)), {"v": values}
+        )
+        for parts in (1, 3, 7):
+            ptable = partition_evenly(table, parts)
+            assert_statistics_identical(
+                build_dataset_statistics(ptable, vectorized=False),
+                build_dataset_statistics(ptable, vectorized=True),
+            )
+
+    def test_process_pool_matches_inline(self, tiny_ptable):
+        assert_statistics_identical(
+            build_dataset_statistics(tiny_ptable, vectorized=True),
+            build_dataset_statistics(tiny_ptable, vectorized=True, n_jobs=2),
+        )
+
+    def test_columnar_index_identical(self, tiny_ptable):
+        """The exported index is the same arrays under either plane."""
+        scalar = build_dataset_statistics(tiny_ptable, vectorized=False)
+        vector = build_dataset_statistics(tiny_ptable, vectorized=True)
+        assert_indexes_identical(
+            ColumnarSketchIndex.build(scalar), ColumnarSketchIndex.build(vector)
+        )
+
+
+class TestAppendThenBuildParity:
+    """Incremental sealing must agree with a from-scratch build."""
+
+    def _split(self, table, keep_rows: int, parts: int):
+        prefix = Table(
+            table.schema,
+            {name: arr[:keep_rows] for name, arr in table.columns.items()},
+        )
+        tail = {name: arr[keep_rows:] for name, arr in table.columns.items()}
+        return partition_evenly(prefix, parts), tail
+
+    def test_appended_statistics_match_scratch(self, skewed_table):
+        ptable, tail = self._split(skewed_table, 600, 6)
+        stats = build_dataset_statistics(ptable)
+        grown = append_rows(ptable, tail)
+        append_partition_statistics(stats, grown[grown.num_partitions - 1])
+        # From-scratch build over the grown table, with the same
+        # partition boundaries (6 even prefix partitions + 1 appended).
+        scratch = build_dataset_statistics(grown)
+        # Global heavy hitters are deliberately frozen on append; compare
+        # per-partition sketches only.
+        assert stats.num_partitions == scratch.num_partitions
+        for p in range(stats.num_partitions):
+            for name in stats.partitions[p].columns:
+                a = stats.partitions[p].columns[name]
+                b = scratch.partitions[p].columns[name]
+                for field in _SKETCH_FIELDS:
+                    sa, sb = getattr(a, field), getattr(b, field)
+                    assert (sa is None) == (sb is None)
+                    if sa is not None:
+                        assert sa.to_bytes() == sb.to_bytes(), (p, name, field)
+
+    def test_extended_index_matches_scratch(self, skewed_table):
+        ptable, tail = self._split(skewed_table, 600, 6)
+        stats = build_dataset_statistics(ptable)
+        index = ColumnarSketchIndex.build(stats)
+        grown = append_rows(ptable, tail)
+        append_partition_statistics(stats, grown[grown.num_partitions - 1])
+        added = index.extend(stats)
+        assert added == 1
+        assert_indexes_identical(ColumnarSketchIndex.build(stats), index)
+
+    def test_fused_view_extension_under_vectorized_builder(self, skewed_table):
+        """The incremental fused view feeds the same build as a fresh one."""
+        from repro.engine.batch_executor import fused_view
+
+        ptable, tail = self._split(skewed_table, 600, 6)
+        prior = fused_view(ptable)
+        grown = append_rows(ptable, tail)
+        view = fused_view(grown, prior=prior)
+        assert view.num_partitions == 7
+        np.testing.assert_array_equal(
+            view.partition_ids,
+            np.repeat(np.arange(7), np.diff(np.asarray(grown.boundaries))),
+        )
+        # Building through the (incrementally extended) cached view must
+        # equal the scalar oracle on the grown table.
+        assert_statistics_identical(
+            build_dataset_statistics(grown, vectorized=False),
+            build_dataset_statistics(grown, vectorized=True),
+        )
+
+
+_COLUMN_KIND = st.sampled_from(["numeric", "date", "categorical"])
+
+
+@pytest.mark.slow
+class TestVectorizedBuilderProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.data(),
+        num_rows=st.integers(min_value=2, max_value=120),
+        num_partitions=st.integers(min_value=1, max_value=9),
+        buckets=st.integers(min_value=1, max_value=12),
+    )
+    def test_random_tables_bit_identical(
+        self, data, num_rows, num_partitions, buckets
+    ):
+        num_partitions = min(num_partitions, num_rows)
+        kind = data.draw(_COLUMN_KIND, label="kind")
+        if kind == "numeric":
+            values = np.asarray(
+                data.draw(
+                    st.lists(
+                        st.floats(
+                            min_value=-1e6,
+                            max_value=1e6,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        ),
+                        min_size=num_rows,
+                        max_size=num_rows,
+                    ),
+                    label="values",
+                )
+            )
+            column = Column("v", ColumnKind.NUMERIC, positive=True)
+        elif kind == "date":
+            values = np.asarray(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=400),
+                        min_size=num_rows,
+                        max_size=num_rows,
+                    ),
+                    label="values",
+                ),
+                dtype=np.int64,
+            )
+            column = Column("v", ColumnKind.DATE)
+        else:
+            values = np.asarray(
+                data.draw(
+                    st.lists(
+                        st.sampled_from(["a", "b", "cc", "ddd", "e!", ""]),
+                        min_size=num_rows,
+                        max_size=num_rows,
+                    ),
+                    label="values",
+                )
+            )
+            column = Column("v", ColumnKind.CATEGORICAL, low_cardinality=True)
+        table = Table(Schema.of(column), {"v": values})
+        ptable = partition_evenly(table, num_partitions)
+        config = SketchConfig(
+            histogram_buckets=buckets, akmv_k=4, exact_dict_limit=4
+        )
+        assert_statistics_identical(
+            build_dataset_statistics(ptable, config, vectorized=False),
+            build_dataset_statistics(ptable, config, vectorized=True),
+        )

@@ -99,3 +99,31 @@ class TestSerialization:
         sketch = MeasuresSketch()
         sketch.update(values)
         assert sketch.size_bytes() == len(sketch.to_bytes())
+
+
+class TestBuildSegmentedNaN:
+    """The batch constructor replays scalar NaN semantics on its own.
+
+    The dataset builder routes NaN-bearing columns to the scalar
+    constructors wholesale, but ``build_segmented`` is public API and
+    guarantees parity for any input: NaN extrema are swallowed like
+    scalar ``min(inf, nan)``, and the log channel stays enabled with
+    NaN moments and untouched extrema defaults.
+    """
+
+    def test_nan_segments_match_scalar_update(self):
+        values = np.array([1.0, np.nan, 3.0, 4.0, np.nan, 6.0, 7.0, 8.0])
+        offsets = np.array([0, 2, 4, 8])
+        for track_log in (False, True):
+            batch = MeasuresSketch.build_segmented(
+                values, offsets, track_log=track_log
+            )
+            for p in range(3):
+                scalar = MeasuresSketch(track_log=track_log)
+                scalar.update(values[offsets[p] : offsets[p + 1]])
+                assert batch[p].to_bytes() == scalar.to_bytes(), (
+                    p,
+                    track_log,
+                    vars(batch[p]),
+                    vars(scalar),
+                )

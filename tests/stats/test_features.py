@@ -7,12 +7,7 @@ from repro.engine.aggregates import count_star, sum_of
 from repro.engine.expressions import col
 from repro.engine.predicates import Comparison, InSet
 from repro.engine.query import Query
-from repro.stats.features import (
-    NUM_SELECTIVITY,
-    NUM_STATS,
-    FeatureBuilder,
-    FeatureSchema,
-)
+from repro.stats.features import NUM_SELECTIVITY, NUM_STATS, FeatureSchema
 
 
 class TestFeatureSchema:

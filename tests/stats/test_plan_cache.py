@@ -81,3 +81,25 @@ class TestPlanCacheSharing:
         builder.features_for_query(query)
         builder.features_for_query(query)
         assert cache.misses == 1 and cache.hits == 1
+
+
+class TestPersistedKeys:
+    """``PlanCache.keys()`` backs the persisted ``plan_cache_keys``."""
+
+    def test_keys_sorted_and_order_independent(self):
+        forward, backward = PlanCache(), PlanCache()
+        first = And([Comparison("x", ">", 3.0), InSet("cat", {"a", "b"})])
+        second = InSet("cat", {"b", "a"})
+        for predicate in (first, second):
+            forward.get(predicate)
+        for predicate in (second, first):
+            backward.get(predicate)
+        assert forward.keys() == backward.keys()
+        assert list(forward.keys()) == sorted(forward.keys())
+
+    def test_inset_repr_independent_of_value_order(self):
+        # repr goes through label(), which sorts the frozenset — the
+        # persisted keys must not depend on hash randomization.
+        assert repr(InSet("c", ["b", "a", "z"])) == repr(
+            InSet("c", ["z", "a", "b"])
+        )

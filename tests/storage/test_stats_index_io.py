@@ -1,0 +1,242 @@
+"""Round-trips of the persisted columnar-index artifacts (format v2).
+
+The stats file may now carry the :class:`ColumnarSketchIndex` arrays and
+the warm plan-cache keys alongside the sketch blob. Pinned here:
+
+* saved index arrays reload bit-identical to a fresh sketch-object
+  export;
+* version-1 files (no index section) still load, with ``index=None`` as
+  the re-export fallback signal;
+* corrupted index sections and unsupported versions raise clean
+  :class:`~repro.errors.ConfigError`;
+* a cold start through the persisted index never touches the
+  sketch-object export path (spy test).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sketches.columnar import ColumnarSketchIndex
+from repro.stats.features import FeatureBuilder
+from repro.storage import (
+    load_model,
+    load_statistics,
+    load_statistics_bundle,
+    save_model,
+    save_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def saved_with_index(tiny_stats, tmp_path_factory):
+    path = tmp_path_factory.mktemp("stats_v2") / "tiny.ps3stats"
+    index = ColumnarSketchIndex.build(tiny_stats)
+    save_statistics(
+        tiny_stats, path, index=index, plan_cache_keys=("p-a", "p-b")
+    )
+    return path, index
+
+
+def _rewrite_manifest(path, out_path, mutate):
+    raw = path.read_bytes()
+    header_size = int.from_bytes(raw[:8], "little")
+    manifest = json.loads(raw[8 : 8 + header_size])
+    mutate(manifest)
+    header = json.dumps(manifest).encode("utf-8")
+    out_path.write_bytes(
+        struct.pack("<Q", len(header)) + header + raw[8 + header_size :]
+    )
+    return out_path
+
+
+class TestIndexRoundtrip:
+    def test_arrays_bit_identical_to_fresh_export(self, saved_with_index):
+        path, saved_index = saved_with_index
+        bundle = load_statistics_bundle(path)
+        assert bundle.index is not None
+        fresh = ColumnarSketchIndex.build(bundle.statistics)
+        assert set(bundle.index.columns) == set(fresh.columns)
+        for name, column in fresh.columns.items():
+            loaded = bundle.index.columns[name].array_state()
+            for key, arr in column.array_state().items():
+                assert loaded[key].dtype == arr.dtype, (name, key)
+                np.testing.assert_array_equal(
+                    loaded[key], arr, err_msg=f"{name}.{key}"
+                )
+
+    def test_plan_cache_keys_roundtrip(self, saved_with_index):
+        path, __ = saved_with_index
+        assert load_statistics_bundle(path).plan_cache_keys == ("p-a", "p-b")
+
+    def test_plain_load_statistics_unaffected(self, saved_with_index, tiny_stats):
+        path, __ = saved_with_index
+        restored = load_statistics(path)
+        assert restored.global_heavy_hitters == tiny_stats.global_heavy_hitters
+        assert restored.num_partitions == tiny_stats.num_partitions
+
+    def test_loaded_index_drives_identical_features(
+        self, saved_with_index, tiny_stats
+    ):
+        path, __ = saved_with_index
+        bundle = load_statistics_bundle(path)
+        from_index = FeatureBuilder(
+            bundle.statistics, ("cat", "d"), index=bundle.index
+        )
+        from_export = FeatureBuilder(bundle.statistics, ("cat", "d"))
+        np.testing.assert_array_equal(
+            from_index.static_matrix, from_export.static_matrix
+        )
+
+    def test_save_without_index_loads_none(self, tiny_stats, tmp_path):
+        path = tmp_path / "noindex.ps3stats"
+        save_statistics(tiny_stats, path)
+        bundle = load_statistics_bundle(path)
+        assert bundle.index is None
+        assert bundle.plan_cache_keys == ()
+
+    def test_mismatched_index_rejected_at_save(self, tiny_stats):
+        index = ColumnarSketchIndex.build(tiny_stats)
+        index.num_partitions += 1
+        with pytest.raises(ConfigError, match="partitions"):
+            save_statistics(tiny_stats, "/dev/null", index=index)
+
+    def test_foreign_columns_rejected_at_save(self, tiny_stats):
+        """Same partition count, different dataset: caught at write time,
+        not as a misleading 'corrupt' error on every later load."""
+        index = ColumnarSketchIndex.build(tiny_stats)
+        index.columns["ghost"] = index.columns.pop(next(iter(index.columns)))
+        with pytest.raises(ConfigError, match="different dataset"):
+            save_statistics(tiny_stats, "/dev/null", index=index)
+
+
+class TestOldFormatFallback:
+    def test_version1_file_loads_without_index(
+        self, saved_with_index, tiny_stats, tmp_path
+    ):
+        path, __ = saved_with_index
+
+        def downgrade(manifest):
+            manifest["version"] = 1
+            manifest.pop("index", None)
+            manifest.pop("plan_cache_keys", None)
+
+        v1 = _rewrite_manifest(path, tmp_path / "v1.ps3stats", downgrade)
+        bundle = load_statistics_bundle(v1)
+        assert bundle.index is None
+        assert bundle.statistics.num_partitions == tiny_stats.num_partitions
+        # The fallback is the pre-v2 export, and it still works.
+        rebuilt = ColumnarSketchIndex.build(bundle.statistics)
+        assert rebuilt.num_partitions == tiny_stats.num_partitions
+
+
+class TestCorruption:
+    def test_unsupported_version_rejected(self, saved_with_index, tmp_path):
+        path, __ = saved_with_index
+        bad = _rewrite_manifest(
+            path,
+            tmp_path / "v99.ps3stats",
+            lambda manifest: manifest.update(version=99),
+        )
+        with pytest.raises(ConfigError, match="version"):
+            load_statistics_bundle(bad)
+        with pytest.raises(ConfigError, match="version"):
+            load_statistics(bad)
+
+    def test_out_of_bounds_array_rejected(self, saved_with_index, tmp_path):
+        path, __ = saved_with_index
+
+        def clobber(manifest):
+            column = next(iter(manifest["index"]["columns"]))
+            manifest["index"]["columns"][column]["stats"][0] = 10**9
+
+        bad = _rewrite_manifest(path, tmp_path / "oob.ps3stats", clobber)
+        with pytest.raises(ConfigError, match="corrupt"):
+            load_statistics_bundle(bad)
+
+    def test_bad_dtype_rejected(self, saved_with_index, tmp_path):
+        path, __ = saved_with_index
+
+        def clobber(manifest):
+            column = next(iter(manifest["index"]["columns"]))
+            manifest["index"]["columns"][column]["stats"][2] = "not-a-dtype"
+
+        bad = _rewrite_manifest(path, tmp_path / "dtype.ps3stats", clobber)
+        with pytest.raises(ConfigError, match="corrupt"):
+            load_statistics_bundle(bad)
+
+    def test_missing_field_rejected(self, saved_with_index, tmp_path):
+        path, __ = saved_with_index
+
+        def clobber(manifest):
+            column = next(iter(manifest["index"]["columns"]))
+            del manifest["index"]["columns"][column]["hist.edges"]
+
+        bad = _rewrite_manifest(path, tmp_path / "missing.ps3stats", clobber)
+        with pytest.raises(ConfigError, match="missing"):
+            load_statistics_bundle(bad)
+
+    def test_partition_count_mismatch_rejected(self, saved_with_index, tmp_path):
+        path, __ = saved_with_index
+        bad = _rewrite_manifest(
+            path,
+            tmp_path / "count.ps3stats",
+            lambda manifest: manifest["index"].update(num_partitions=3),
+        )
+        with pytest.raises(ConfigError, match="partitions"):
+            load_statistics_bundle(bad)
+
+    def test_stale_index_rejected_by_feature_builder(self, tiny_stats):
+        index = ColumnarSketchIndex.build(tiny_stats)
+        index.num_partitions -= 1
+        with pytest.raises(ConfigError, match="rebuild"):
+            FeatureBuilder(tiny_stats, ("cat", "d"), index=index)
+
+
+class TestColdStartSkipsExport:
+    """Cold start via the persisted index must never export sketches."""
+
+    def test_feature_builder_does_not_export(
+        self, saved_with_index, monkeypatch
+    ):
+        path, __ = saved_with_index
+        bundle = load_statistics_bundle(path)
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("sketch-object export ran on cold start")
+
+        monkeypatch.setattr(ColumnarSketchIndex, "build", boom)
+        builder = FeatureBuilder(
+            bundle.statistics, ("cat", "d"), index=bundle.index
+        )
+        assert builder.sketch_index is bundle.index
+
+    def test_model_cold_start_does_not_export(
+        self, trained_ps3, tmp_path, monkeypatch
+    ):
+        stats_path = tmp_path / "stats.ps3stats"
+        model_path = tmp_path / "model.json"
+        save_statistics(
+            trained_ps3.statistics,
+            stats_path,
+            index=trained_ps3.feature_builder.sketch_index,
+            plan_cache_keys=trained_ps3.feature_builder.plan_cache.keys(),
+        )
+        save_model(trained_ps3.model, model_path)
+        bundle = load_statistics_bundle(stats_path)
+        assert bundle.index is not None
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("sketch-object export ran on cold start")
+
+        monkeypatch.setattr(ColumnarSketchIndex, "build", boom)
+        model = load_model(model_path, bundle.statistics, index=bundle.index)
+        features = model.feature_builder.features_for_query(
+            trained_ps3.training_data.queries[0]
+        )
+        assert features.matrix.shape[0] == bundle.statistics.num_partitions

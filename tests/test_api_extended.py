@@ -1,8 +1,5 @@
 """Extended API tests: feature selection in fit, reporting helpers."""
 
-import os
-
-import numpy as np
 import pytest
 
 from repro.api import PS3

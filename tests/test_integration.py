@@ -36,7 +36,9 @@ class TestAccuracyOrdering:
                 [WeightedChoice(p, 1.0) for p in range(len(answers))],
             )
             selection = trained_ps3.picker.select(query, budget).selection
-            ps3_reports.append(evaluate_errors(truth, estimate(query, answers, selection)))
+            ps3_reports.append(
+                evaluate_errors(truth, estimate(query, answers, selection))
+            )
             for seed in range(5):
                 sampler = RandomSampler(tpch_ptable.num_partitions, seed=seed)
                 random_selection = sampler.select(query, budget)

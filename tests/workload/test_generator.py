@@ -1,9 +1,7 @@
 """Unit tests for workload specs and the random query generator."""
 
-import numpy as np
 import pytest
 
-from repro.datasets.registry import get_dataset
 from repro.engine.aggregates import AggFunc
 from repro.errors import ConfigError
 from repro.workload.generator import QueryGenerator

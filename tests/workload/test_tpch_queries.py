@@ -15,7 +15,19 @@ def rng():
 class TestTemplates:
     def test_ten_paper_templates_present(self):
         names = {t.name for t in TEMPLATES}
-        expected = {"Q1", "Q5", "Q6", "Q7", "Q8", "Q9", "Q12", "Q14", "Q17", "Q18", "Q19"}
+        expected = {
+            "Q1",
+            "Q5",
+            "Q6",
+            "Q7",
+            "Q8",
+            "Q9",
+            "Q12",
+            "Q14",
+            "Q17",
+            "Q18",
+            "Q19",
+        }
         assert expected <= names
 
     def test_get_template(self):
