@@ -106,6 +106,44 @@ class PS3:
         self.model: PickerModel | None = None
         self.training_data: TrainingData | None = None
         self._picker: PS3Picker | None = None
+        self._store = None  # StatisticsStore, bound via attach_store
+
+    # -- durability -------------------------------------------------------------
+
+    def attach_store(self, directory, *, io=None):
+        """Bind a crash-safe :class:`~repro.storage.StatisticsStore`.
+
+        Once attached, every :meth:`append` batch is journaled to the
+        store's write-ahead log *before* the in-memory mutation, and
+        :meth:`checkpoint` folds the journal into a fresh atomic bundle.
+        After a crash, ``StatisticsStore(directory).load_statistics()``
+        recovers statistics bit-identical to the pre-crash state.
+        """
+        from repro.storage import StatisticsStore
+
+        self._store = StatisticsStore(directory, io=io)
+        return self._store
+
+    @property
+    def store(self):
+        if self._store is None:
+            raise ConfigError(
+                "no statistics store attached (call PS3.attach_store first)"
+            )
+        return self._store
+
+    def checkpoint(self) -> int:
+        """Fold journaled appends into a fresh atomic statistics bundle.
+
+        Returns the journal sequence number the bundle is stamped with.
+        The persisted columnar index and warm plan-cache keys ride along,
+        so recovery cold-starts without re-exporting sketches.
+        """
+        return self.store.checkpoint(
+            self.statistics,
+            index=self.feature_builder.sketch_index,
+            plan_cache_keys=self.feature_builder.plan_cache.keys(),
+        )
 
     # -- training --------------------------------------------------------------
 
@@ -222,6 +260,11 @@ class PS3:
         from repro.engine.layout import append_rows
         from repro.sketches.builder import append_partition_statistics
 
+        if self._store is not None:
+            # Write-ahead: the batch is fsynced to the journal before any
+            # in-memory state changes. A crash after this line replays
+            # the batch; a crash before it loses nothing but the call.
+            self._store.log_append(new_columns)
         prior_view = getattr(self.ptable, "_fused_view", None)
         self.ptable = append_rows(self.ptable, new_columns)
         # Carry the fused executor view over incrementally: only the new

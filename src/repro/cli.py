@@ -11,10 +11,16 @@ model files. The CLI manages that lifecycle::
     ps3-repro query --deploy ./deploy --budget 0.1 \
         "SELECT SUM(l_extendedprice), COUNT(*) GROUP BY l_returnflag"
     ps3-repro evaluate --deploy ./deploy --budget 0.1 --queries 10
+    ps3-repro append --deploy ./deploy --rows 1000
+    ps3-repro checkpoint --deploy ./deploy
 
 ``train`` writes ``manifest.json``, ``stats.ps3stats`` and
 ``model.json``; ``query`` and ``evaluate`` rebuild the table from the
-manifest and answer through the trained picker.
+manifest and answer through the trained picker. ``append`` journals a
+synthetic batch to the write-ahead log (``stats.ps3wal``) before
+anything else changes, and ``checkpoint`` folds the journal into a
+fresh atomic statistics bundle — every command recovers cleanly from a
+crash at any point in between (see README, "Durability & recovery").
 """
 
 from __future__ import annotations
@@ -30,14 +36,17 @@ from repro.core.training import TrainingConfig
 from repro.datasets.registry import DATASETS, get_dataset
 from repro.engine.combiner import finalize_answer
 from repro.engine.executor import execute_on_partition, true_answer
+from repro.engine.layout import append_rows
 from repro.engine.sql import parse_query
 from repro.errors import ReproError
 from repro.storage import (
+    StatisticsStore,
     load_model,
-    load_statistics_bundle,
+    replay_batch_into_statistics,
     save_model,
     save_statistics,
 )
+from repro.storage.atomic import atomic_write_bytes
 from repro.workload.generator import QueryGenerator
 
 _MANIFEST = "manifest.json"
@@ -116,7 +125,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _append_batch_columns(spec, manifest: dict, rows: int, seed: int) -> dict:
+    """Deterministically (re)generate one appended batch's columns."""
+    batch = spec.build(rows, 1, manifest["layout"], seed=seed)
+    return dict(batch.table.columns)
+
+
 def _load_deployment(deploy: str):
+    """Recover a deployment: checkpoint (``.bak`` fallback) + WAL replay.
+
+    Appended rows come from two places. Batches not yet folded into the
+    checkpoint are replayed straight from the journal (the columns are
+    in the record) into both the table and the statistics. Batches
+    already folded are in the statistics but not the journal — their
+    rows are regenerated from the manifest's ``appends`` entries (every
+    batch is a seeded synthetic sample, so regeneration is exact).
+    """
     directory = Path(deploy)
     manifest = json.loads((directory / _MANIFEST).read_text())
     spec = get_dataset(manifest["dataset"])
@@ -126,11 +150,103 @@ def _load_deployment(deploy: str):
         manifest["layout"],
         seed=manifest["seed"],
     )
-    bundle = load_statistics_bundle(directory / _STATS)
+    store = StatisticsStore(directory)
+    bundle, batches = store.load()
     statistics = bundle.statistics
+    for entry in manifest.get("appends", ()):
+        if entry["seq"] <= bundle.wal_applied_seq:
+            ptable = append_rows(
+                ptable,
+                _append_batch_columns(
+                    spec, manifest, entry["rows"], entry["seed"]
+                ),
+            )
+    for batch in batches:
+        ptable = append_rows(ptable, batch.columns)
+        replay_batch_into_statistics(statistics, batch.columns, bundle.index)
     model = load_model(directory / _MODEL, statistics, index=bundle.index)
     picker = PS3Picker(model, statistics, PickerConfig(seed=manifest["seed"]))
     return manifest, spec, ptable, picker
+
+
+def _cmd_append(args: argparse.Namespace) -> int:
+    directory = Path(args.deploy)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    spec = get_dataset(manifest["dataset"])
+    appends = manifest.setdefault("appends", [])
+    seed = (
+        args.seed
+        if args.seed is not None
+        else manifest["seed"] + 1000 + len(appends)
+    )
+    columns = _append_batch_columns(spec, manifest, args.rows, seed)
+    store = StatisticsStore(directory)
+    # Journal first (fsynced), then record the regeneration recipe in
+    # the manifest. A crash in between is safe: recovery replays the
+    # rows from the journal itself until a checkpoint reconciles the
+    # manifest (see _cmd_checkpoint).
+    seq = store.log_append(columns, meta={"rows": args.rows, "seed": seed})
+    appends.append({"rows": args.rows, "seed": seed, "seq": seq})
+    atomic_write_bytes(
+        directory / _MANIFEST, json.dumps(manifest, indent=2).encode("utf-8")
+    )
+    print(
+        f"journaled {args.rows} rows (seed={seed}) as WAL record {seq}; "
+        "run `checkpoint` to fold the journal into the statistics bundle"
+    )
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    directory = Path(args.deploy)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    store = StatisticsStore(directory)
+    bundle, batches = store.load()
+    statistics = bundle.statistics
+    for batch in batches:
+        replay_batch_into_statistics(statistics, batch.columns, bundle.index)
+    # Reconcile the manifest before truncating the journal: an append
+    # that crashed between its WAL record and its manifest entry must
+    # get the entry now, while the batch metadata is still journaled.
+    appends = manifest.setdefault("appends", [])
+    known = {entry["seq"] for entry in appends}
+    for batch in batches:
+        if batch.seq not in known and {"rows", "seed"} <= set(batch.meta):
+            appends.append(
+                {
+                    "rows": batch.meta["rows"],
+                    "seed": batch.meta["seed"],
+                    "seq": batch.seq,
+                }
+            )
+    # And the converse hole: an entry whose journal record did not
+    # survive (bit-rot tore the tail, or the WAL was lost wholesale)
+    # references a batch that exists nowhere. Left in place it would
+    # collide with the next append to reuse its sequence number, so
+    # prune anything beyond what this checkpoint actually folds.
+    folded = max([bundle.wal_applied_seq, *(b.seq for b in batches)])
+    orphans = [entry for entry in appends if entry["seq"] > folded]
+    if orphans:
+        appends[:] = [e for e in appends if e["seq"] <= folded]
+        print(
+            f"dropped {len(orphans)} append entries whose journal "
+            "records were lost "
+            f"(seqs {[e['seq'] for e in orphans]})"
+        )
+    appends.sort(key=lambda entry: entry["seq"])
+    atomic_write_bytes(
+        directory / _MANIFEST, json.dumps(manifest, indent=2).encode("utf-8")
+    )
+    applied = store.checkpoint(
+        statistics,
+        index=bundle.index,
+        plan_cache_keys=bundle.plan_cache_keys,
+    )
+    print(
+        f"folded {len(batches)} journaled batches into {directory / _STATS} "
+        f"(stamped wal_applied_seq={applied}); journal truncated"
+    )
+    return 0
 
 
 def _resolve_budget(budget: float, num_partitions: int) -> int:
@@ -242,6 +358,25 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--deploy", required=True)
     evaluate.add_argument("--budget", type=float, default=0.1)
     evaluate.add_argument("--queries", type=int, default=10)
+
+    append = sub.add_parser(
+        "append",
+        help="journal a synthetic batch of appended rows (WAL, crash-safe)",
+    )
+    append.add_argument("--deploy", required=True)
+    append.add_argument("--rows", type=int, default=1000)
+    append.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="batch generator seed (default: derived from the manifest)",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="fold journaled appends into a fresh atomic statistics bundle",
+    )
+    checkpoint.add_argument("--deploy", required=True)
     return parser
 
 
@@ -250,6 +385,8 @@ _COMMANDS = {
     "train": _cmd_train,
     "query": _cmd_query,
     "evaluate": _cmd_evaluate,
+    "append": _cmd_append,
+    "checkpoint": _cmd_checkpoint,
 }
 
 

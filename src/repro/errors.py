@@ -30,3 +30,44 @@ class NotFittedError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid configuration value was supplied."""
+
+
+class StorageError(ReproError):
+    """An on-disk artifact could not be written, read, or trusted.
+
+    Distinct from :class:`ConfigError`: config misuse is the caller's
+    bug; storage errors describe damage or transient failures in the
+    world (torn writes, bit-rot, ENOSPC, EIO).
+    """
+
+
+class CorruptBundleError(StorageError, ConfigError):
+    """A persisted bundle failed a checksum or structural integrity check.
+
+    Deprecated compatibility: corruption used to surface as
+    :class:`ConfigError`, so this class keeps it as a secondary base for
+    one release — ``except ConfigError`` still catches corruption, but
+    new code should catch :class:`StorageError`/:class:`CorruptBundleError`.
+    """
+
+
+class WalReplayError(StorageError):
+    """The write-ahead log is damaged beyond its torn-tail tolerance.
+
+    A torn final record (the expected artifact of a crash mid-append) is
+    recovered from silently; this error means corruption was detected
+    *before* intact records — replaying past it could fabricate state.
+    """
+
+
+class DegradedLoadWarning(UserWarning):
+    """A load succeeded, but in degraded mode (fallback or partial data).
+
+    Carries a machine-readable ``reason`` (e.g. ``"index-corrupt"``,
+    ``"bak-fallback"``, ``"wal-torn-tail"``) so services can alert on
+    specific degradations instead of string-matching messages.
+    """
+
+    def __init__(self, message: str, *, reason: str = "degraded") -> None:
+        super().__init__(message)
+        self.reason = reason

@@ -7,28 +7,45 @@ feature builder was constructed with, and the full regressor funnel via
 to a :class:`~repro.sketches.builder.DatasetStatistics` (statistics are
 stored separately — they change when partitions are appended; the model
 only changes on retraining).
+
+Writes go through the atomic writer (temp + fsync + rename, ``.bak``
+generation kept) and the payload carries a ``crc32`` self-checksum, so a
+crash mid-save cannot tear the file and bit-rot raises
+:class:`~repro.errors.CorruptBundleError` instead of producing a model
+that mis-predicts. Files written before the checksum existed (no
+``crc32`` key) still load.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.training import PickerModel
-from repro.errors import ConfigError
+from repro.errors import ConfigError, CorruptBundleError
 from repro.ml.gbrt import GBRTRegressor
 from repro.sketches.builder import DatasetStatistics
 from repro.sketches.columnar import ColumnarSketchIndex
 from repro.stats.features import FeatureBuilder
 from repro.stats.normalization import Normalizer
+from repro.storage.atomic import FileIO, atomic_write_bytes, read_with_retry
 
 _MAGIC_VERSION = 1
 
 
-def save_model(model: PickerModel, path: str | Path) -> None:
-    """Write a trained picker model to ``path`` (JSON)."""
+def _payload_crc(payload: dict) -> int:
+    """Checksum over the canonical dump of everything but ``crc32``."""
+    body = {k: v for k, v in payload.items() if k != "crc32"}
+    return zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+
+
+def save_model(
+    model: PickerModel, path: str | Path, *, io: FileIO | None = None
+) -> None:
+    """Write a trained picker model to ``path`` (JSON, atomic)."""
     if model.normalizer.scale is None:
         raise ConfigError("cannot save an unfitted model (normalizer has no scale)")
     payload = {
@@ -40,13 +57,16 @@ def save_model(model: PickerModel, path: str | Path) -> None:
         "excluded_families": sorted(model.excluded_families),
         "regressors": [regressor.to_state() for regressor in model.regressors],
     }
-    Path(path).write_text(json.dumps(payload))
+    payload["crc32"] = _payload_crc(payload)
+    atomic_write_bytes(path, json.dumps(payload).encode("utf-8"), io=io)
 
 
 def load_model(
     path: str | Path,
     statistics: DatasetStatistics,
     index: ColumnarSketchIndex | None = None,
+    *,
+    io: FileIO | None = None,
 ) -> PickerModel:
     """Read a model and re-bind it to (freshly loaded) statistics.
 
@@ -57,7 +77,18 @@ def load_model(
     ``load_statistics_bundle``) lets the rebound feature builder skip
     the sketch-object export on cold start.
     """
-    payload = json.loads(Path(path).read_text())
+    try:
+        payload = json.loads(read_with_retry(path, io=io).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("model payload is not an object")
+    except (ValueError, UnicodeDecodeError) as error:
+        raise CorruptBundleError(
+            f"corrupt model file {path}: {error}"
+        ) from None
+    if "crc32" in payload and payload["crc32"] != _payload_crc(payload):
+        raise CorruptBundleError(
+            f"corrupt model file {path}: payload checksum mismatch"
+        )
     if payload.get("version") != _MAGIC_VERSION:
         raise ConfigError(f"unsupported model file version {payload.get('version')!r}")
     feature_builder = FeatureBuilder(

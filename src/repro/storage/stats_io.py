@@ -24,21 +24,49 @@ forward-compatible with the sketch blob:
   recompile from predicates in milliseconds); they exist so tooling can
   inspect a deployment without replaying its workload.
 
-Version-1 files (no index section) still load; callers fall back to the
-sketch-object export for the index.
+Version 3 makes the file trustworthy after a crash or silent bit-rot:
+
+* the manifest carries per-section CRC32s over the blob (the sketch
+  region and the index region separately) plus a footer
+  (``b"PS3C"`` + CRC32 of the manifest bytes) appended after the blob,
+  so *any* flipped byte is detected at load instead of surfacing as
+  wrong query answers;
+* writes go through :func:`repro.storage.atomic.atomic_write_bytes`
+  (temp + fsync + ``os.replace``, last good generation kept as
+  ``<name>.bak``), so a crash mid-save can never leave a torn file;
+* ``wal_applied_seq`` records the write-ahead-log position folded into
+  the bundle, making checkpoint + WAL replay idempotent
+  (:mod:`repro.storage.wal`).
+
+Corruption raises :class:`~repro.errors.CorruptBundleError` — except a
+damaged *index* section, which degrades to ``index=None`` with a
+:class:`~repro.errors.DegradedLoadWarning` because the sketch-blob
+fallback can rebuild it. :func:`recover_statistics_bundle` adds the
+``.bak``-generation fallback on top. Version-1 and version-2 files (no
+checksums) still load; v1 files have no index section and callers fall
+back to the sketch-object export.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import warnings
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.engine.schema import Column, ColumnKind, Schema
-from repro.errors import ConfigError
+from repro.errors import ConfigError, CorruptBundleError, DegradedLoadWarning
+from repro.storage.atomic import (
+    FileIO,
+    atomic_write_bytes,
+    backup_path,
+    cleanup_stale_temps,
+    read_with_retry,
+)
 from repro.sketches.akmv import AKMVSketch
 from repro.sketches.builder import (
     ColumnStatistics,
@@ -52,8 +80,10 @@ from repro.sketches.heavy_hitter import HeavyHitterSketch
 from repro.sketches.histogram import EquiDepthHistogram
 from repro.sketches.measures import MeasuresSketch
 
-_MAGIC_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_MAGIC_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
+_FOOTER_MAGIC = b"PS3C"
+_FOOTER_SIZE = 8  # magic + u32 CRC32 of the manifest bytes
 
 _SKETCH_TYPES = {
     "measures": MeasuresSketch,
@@ -114,7 +144,7 @@ def _encode_array(arr: np.ndarray, blob: bytearray) -> list:
 def _decode_array(entry: list, blob: bytes) -> np.ndarray:
     offset, length, dtype_str, shape = entry
     if offset < 0 or length < 0 or offset + length > len(blob):
-        raise ConfigError("corrupt statistics index: array out of bounds")
+        raise CorruptBundleError("corrupt statistics index: array out of bounds")
     try:
         dtype = np.dtype(dtype_str)
         return (
@@ -123,7 +153,7 @@ def _decode_array(entry: list, blob: bytes) -> np.ndarray:
             .copy()
         )
     except (TypeError, ValueError) as error:
-        raise ConfigError(f"corrupt statistics index: {error}") from None
+        raise CorruptBundleError(f"corrupt statistics index: {error}") from None
 
 
 @dataclass
@@ -140,6 +170,9 @@ class StatisticsBundle:
     statistics: DatasetStatistics
     index: ColumnarSketchIndex | None = None
     plan_cache_keys: tuple[str, ...] = field(default_factory=tuple)
+    #: Highest WAL sequence number folded into this bundle (0 = none).
+    #: Replay skips records at or below it, making checkpoints idempotent.
+    wal_applied_seq: int = 0
 
 
 def save_statistics(
@@ -148,13 +181,18 @@ def save_statistics(
     *,
     index: ColumnarSketchIndex | None = None,
     plan_cache_keys: tuple[str, ...] = (),
+    wal_applied_seq: int = 0,
+    io: FileIO | None = None,
 ) -> None:
-    """Write dataset statistics to ``path`` (single binary file).
+    """Write dataset statistics to ``path`` atomically (format v3).
 
     Pass the live :class:`ColumnarSketchIndex` (e.g.
     ``feature_builder.sketch_index``) to persist its arrays alongside
     the sketches; ``load_statistics_bundle`` then skips the export on
-    reload.
+    reload. The write is all-or-nothing (temp + fsync + rename) and the
+    previous generation survives as ``<name>.bak``; ``wal_applied_seq``
+    stamps the journal position a checkpoint folded in. ``io`` is the
+    fault-injection seam (tests only).
     """
     if index is not None:
         if index.num_partitions != stats.num_partitions:
@@ -190,6 +228,7 @@ def save_statistics(
                 "columns": columns_manifest,
             }
         )
+    sketch_length = len(blob)
     manifest = {
         "version": _MAGIC_VERSION,
         "schema": _schema_to_json(stats.schema),
@@ -220,26 +259,99 @@ def save_statistics(
         }
     if plan_cache_keys:
         manifest["plan_cache_keys"] = list(plan_cache_keys)
+    # Per-section CRC32s: the sketch region and the (optional) index
+    # region are verified independently at load, so index bit-rot can
+    # degrade to a rebuild while sketch bit-rot is a hard error.
+    sections = {
+        "sketches": [0, sketch_length, zlib.crc32(bytes(blob[:sketch_length]))]
+    }
+    if len(blob) > sketch_length:
+        sections["index"] = [
+            sketch_length,
+            len(blob) - sketch_length,
+            zlib.crc32(bytes(blob[sketch_length:])),
+        ]
+    manifest["sections"] = sections
+    manifest["wal_applied_seq"] = int(wal_applied_seq)
     header = json.dumps(manifest).encode("utf-8")
-    with open(path, "wb") as handle:
-        handle.write(struct.pack("<Q", len(header)))
-        handle.write(header)
-        handle.write(bytes(blob))
+    footer = _FOOTER_MAGIC + struct.pack("<I", zlib.crc32(header))
+    data = struct.pack("<Q", len(header)) + header + bytes(blob) + footer
+    atomic_write_bytes(path, data, io=io)
 
 
-def _read_manifest(path: str | Path) -> tuple[dict, bytes]:
-    with open(path, "rb") as handle:
-        (header_size,) = struct.unpack("<Q", handle.read(8))
-        manifest = json.loads(handle.read(header_size).decode("utf-8"))
-        blob = handle.read()
-    if manifest.get("version") not in _SUPPORTED_VERSIONS:
-        raise ConfigError(
-            f"unsupported statistics file version {manifest.get('version')!r}"
+def _read_manifest(
+    path: str | Path, *, io: FileIO | None = None
+) -> tuple[dict, bytes]:
+    raw = read_with_retry(path, io=io)
+    try:
+        (header_size,) = struct.unpack("<Q", raw[:8])
+        header = raw[8 : 8 + header_size]
+        if len(header) != header_size:
+            raise ValueError("truncated manifest")
+        manifest = json.loads(header.decode("utf-8"))
+        if not isinstance(manifest, dict):
+            raise ValueError("manifest is not an object")
+    except (struct.error, ValueError, UnicodeDecodeError) as error:
+        raise CorruptBundleError(
+            f"corrupt statistics file {path}: unreadable manifest ({error})"
+        ) from None
+    blob = raw[8 + header_size :]
+    version = manifest.get("version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise CorruptBundleError(
+            f"unsupported statistics file version {version!r}"
         )
+    if version >= 3:
+        # Chain of trust: footer CRC covers the manifest; the manifest's
+        # section CRCs cover the blob. Any flipped byte breaks a link.
+        if len(blob) < _FOOTER_SIZE or blob[-_FOOTER_SIZE:-4] != _FOOTER_MAGIC:
+            raise CorruptBundleError(
+                f"corrupt statistics file {path}: missing integrity footer"
+            )
+        (manifest_crc,) = struct.unpack("<I", blob[-4:])
+        if zlib.crc32(header) != manifest_crc:
+            raise CorruptBundleError(
+                f"corrupt statistics file {path}: manifest checksum mismatch"
+            )
+        blob = blob[:-_FOOTER_SIZE]
+        sections = manifest.get("sections", {})
+        offset, length, crc = sections.get("sketches", [0, 0, 0])
+        section = blob[offset : offset + length]
+        if len(section) != length or zlib.crc32(section) != crc:
+            raise CorruptBundleError(
+                f"corrupt statistics file {path}: sketch section "
+                "checksum mismatch"
+            )
     return manifest, blob
 
 
+def _index_section_ok(manifest: dict, blob: bytes) -> bool:
+    """Whether the v3 index-section checksum verifies (v1/v2: trusted)."""
+    if manifest.get("version", 1) < 3:
+        return True
+    entry = manifest.get("sections", {}).get("index")
+    if entry is None:
+        return "index" not in manifest
+    offset, length, crc = entry
+    section = blob[offset : offset + length]
+    return len(section) == length and zlib.crc32(section) == crc
+
+
 def _statistics_from_manifest(manifest: dict, blob: bytes) -> DatasetStatistics:
+    try:
+        return _statistics_from_manifest_unchecked(manifest, blob)
+    except (KeyError, IndexError, TypeError, ValueError, struct.error) as error:
+        # v1/v2 files have no checksums; structural decode failure is
+        # their only corruption signal. v3 rarely reaches this (the CRC
+        # chain fires first) but the wrap keeps the contract uniform.
+        raise CorruptBundleError(
+            f"corrupt statistics file: {error!r}"
+        ) from error
+
+
+def _statistics_from_manifest_unchecked(
+    manifest: dict, blob: bytes
+) -> DatasetStatistics:
     schema = _schema_from_json(manifest["schema"])
     config = SketchConfig(**manifest["config"])
     partitions = []
@@ -270,10 +382,19 @@ def _statistics_from_manifest(manifest: dict, blob: bytes) -> DatasetStatistics:
 def _index_from_manifest(
     manifest: dict, blob: bytes, stats: DatasetStatistics
 ) -> ColumnarSketchIndex | None:
+    """Decode the persisted index, degrading to ``None`` on damage.
+
+    The index is a rebuildable cache of the sketch blob, so a corrupt
+    section is not fatal: the caller gets ``index=None`` plus a
+    :class:`DegradedLoadWarning` (``reason="index-corrupt"``) and falls
+    back to the sketch-object export — slower cold start, same bits.
+    """
     index_manifest = manifest.get("index")
     if index_manifest is None:
         return None
     try:
+        if not _index_section_ok(manifest, blob):
+            raise CorruptBundleError("index section checksum mismatch")
         num_partitions = int(index_manifest["num_partitions"])
         state = {
             name: {
@@ -282,38 +403,92 @@ def _index_from_manifest(
             }
             for name, column_state in index_manifest["columns"].items()
         }
-    except (KeyError, TypeError, ValueError) as error:
-        raise ConfigError(f"corrupt statistics index section: {error}") from None
-    if num_partitions != stats.num_partitions:
-        raise ConfigError(
-            "corrupt statistics index: covers "
-            f"{num_partitions} partitions, statistics have "
-            f"{stats.num_partitions}"
+        if num_partitions != stats.num_partitions:
+            raise CorruptBundleError(
+                "corrupt statistics index: covers "
+                f"{num_partitions} partitions, statistics have "
+                f"{stats.num_partitions}"
+            )
+        if set(state) != set(stats.schema.names):
+            raise CorruptBundleError(
+                "corrupt statistics index: columns do not match the schema"
+            )
+        return ColumnarSketchIndex.from_array_state(state, num_partitions)
+    except (ConfigError, KeyError, TypeError, ValueError) as error:
+        # ConfigError covers CorruptBundleError plus the structural
+        # checks inside ColumnIndex.from_array_state (missing arrays).
+        warnings.warn(
+            DegradedLoadWarning(
+                f"statistics index section is corrupt ({error}); loading "
+                "with index=None — cold start falls back to the "
+                "sketch-object export",
+                reason="index-corrupt",
+            ),
+            stacklevel=3,
         )
-    if set(state) != set(stats.schema.names):
-        raise ConfigError(
-            "corrupt statistics index: columns do not match the schema"
-        )
-    return ColumnarSketchIndex.from_array_state(state, num_partitions)
+        return None
 
 
-def load_statistics(path: str | Path) -> DatasetStatistics:
+def load_statistics(
+    path: str | Path, *, io: FileIO | None = None
+) -> DatasetStatistics:
     """Read dataset statistics written by :func:`save_statistics`."""
-    manifest, blob = _read_manifest(path)
+    manifest, blob = _read_manifest(path, io=io)
     return _statistics_from_manifest(manifest, blob)
 
 
-def load_statistics_bundle(path: str | Path) -> StatisticsBundle:
+def load_statistics_bundle(
+    path: str | Path, *, io: FileIO | None = None
+) -> StatisticsBundle:
     """Read statistics plus the persisted cold-start artifacts.
 
     For version-1 files (or files saved without an index) the bundle's
     ``index`` is ``None`` and callers should fall back to
-    ``ColumnarSketchIndex.build`` — the pre-PR-5 export path.
+    ``ColumnarSketchIndex.build`` — the pre-PR-5 export path. A corrupt
+    index *section* also degrades to ``index=None`` (with a
+    :class:`DegradedLoadWarning`); corruption anywhere else raises
+    :class:`CorruptBundleError`.
     """
-    manifest, blob = _read_manifest(path)
+    manifest, blob = _read_manifest(path, io=io)
     stats = _statistics_from_manifest(manifest, blob)
     return StatisticsBundle(
         statistics=stats,
         index=_index_from_manifest(manifest, blob, stats),
         plan_cache_keys=tuple(manifest.get("plan_cache_keys", ())),
+        wal_applied_seq=int(manifest.get("wal_applied_seq", 0)),
     )
+
+
+def recover_statistics_bundle(
+    path: str | Path, *, io: FileIO | None = None
+) -> StatisticsBundle:
+    """Load a bundle, falling back to the ``.bak`` generation on damage.
+
+    The degraded path emits a :class:`DegradedLoadWarning`
+    (``reason="bak-fallback"``) so services can alert: answers are
+    served from the previous checkpoint generation. If both generations
+    are unreadable, the *primary* file's error propagates. Stale
+    ``.tmp`` siblings from crashed writers are removed first.
+    """
+    path = Path(path)
+    cleanup_stale_temps(path, io=io)
+    try:
+        return load_statistics_bundle(path, io=io)
+    except (CorruptBundleError, FileNotFoundError) as error:
+        backup = backup_path(path)
+        file_io = io or FileIO()
+        if not file_io.exists(backup):
+            raise
+        try:
+            bundle = load_statistics_bundle(backup, io=io)
+        except (CorruptBundleError, FileNotFoundError):
+            raise error from None
+        warnings.warn(
+            DegradedLoadWarning(
+                f"statistics bundle {path} is unreadable ({error}); "
+                "serving the previous generation from its .bak sibling",
+                reason="bak-fallback",
+            ),
+            stacklevel=2,
+        )
+        return bundle

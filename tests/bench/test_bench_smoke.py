@@ -51,6 +51,7 @@ def test_perf_benches_exist():
     assert "bench_perf_workload_executor.py" in names
     assert "bench_perf_estimation_plane.py" in names
     assert "bench_perf_sketch_plane.py" in names
+    assert "bench_perf_recovery.py" in names
 
 
 def test_every_perf_bench_has_smoke_entry():

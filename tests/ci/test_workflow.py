@@ -81,6 +81,21 @@ def test_bench_rot_guard_runs_smoke_module_explicitly(jobs):
     assert any("tests/bench/test_bench_smoke.py" in line for line in lines)
 
 
+def test_killpoint_sweep_is_a_named_tier1_gate(jobs):
+    """The crash-safety sweep runs as its own step in the fast gate.
+
+    The fast subset (`-m "not slow"`) of tests/storage/test_killpoints.py
+    must be invoked explicitly, and the exhaustive variants ride the
+    slow job's blanket `-m "slow"` run.
+    """
+    lines = _run_lines(jobs["tier-1"])
+    sweep = [
+        line for line in lines if "tests/storage/test_killpoints.py" in line
+    ]
+    assert sweep, "tier-1 lost its explicit kill-point sweep step"
+    assert '-m "not slow"' in sweep[0]
+
+
 def test_every_python_setup_uses_pip_caching(jobs):
     for name, job in jobs.items():
         setups = [

@@ -1,0 +1,96 @@
+"""The atomic write-replace primitive and the transient-read retry.
+
+Crash-point coverage lives in ``test_killpoints.py``; this module pins
+the primitive's contract under *surviving* failures: the target file is
+never torn, the previous generation stays reachable as ``.bak``, and
+transient ``EIO``/``EINTR`` reads are retried with capped backoff.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.atomic import (
+    atomic_write_bytes,
+    backup_path,
+    cleanup_stale_temps,
+    read_with_retry,
+    temp_path,
+)
+from repro.storage.faults import FaultyIO
+
+
+class TestAtomicWrite:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(path, b"generation-1")
+        assert path.read_bytes() == b"generation-1"
+        assert not temp_path(path).exists()
+
+    def test_backup_holds_previous_generation(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(path, b"generation-1")
+        atomic_write_bytes(path, b"generation-2")
+        assert path.read_bytes() == b"generation-2"
+        assert backup_path(path).read_bytes() == b"generation-1"
+
+    def test_no_backup_when_disabled(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(path, b"generation-1")
+        atomic_write_bytes(path, b"generation-2", keep_backup=False)
+        assert not backup_path(path).exists()
+
+    def test_enospc_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(path, b"generation-1")
+        io = FaultyIO(enospc_after_bytes=4)
+        with pytest.raises(StorageError, match="atomic write"):
+            atomic_write_bytes(path, b"generation-2", io=io)
+        assert path.read_bytes() == b"generation-1"
+        # The partial temp file was cleaned up on the way out.
+        assert not temp_path(path).exists()
+
+    def test_cleanup_stale_temps(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        temp_path(path).write_bytes(b"torn")
+        stale_bak_tmp = tmp_path / "artifact.bin.bak.tmp"
+        stale_bak_tmp.write_bytes(b"torn")
+        cleanup_stale_temps(path)
+        assert not temp_path(path).exists()
+        assert not stale_bak_tmp.exists()
+
+
+class TestReadWithRetry:
+    def test_transient_eio_retried_with_backoff(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        path.write_bytes(b"payload")
+        io = FaultyIO(fail_reads=3)
+        assert read_with_retry(path, io=io, backoff=0.01) == b"payload"
+        assert io.reads_failed == 3
+        # Exponential, capped: 0.01, 0.02, 0.04 (recorded, never slept).
+        assert io.sleeps == [0.01, 0.02, 0.04]
+
+    def test_backoff_is_capped(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        path.write_bytes(b"payload")
+        io = FaultyIO(fail_reads=4)
+        read_with_retry(path, io=io, backoff=0.1, max_backoff=0.25)
+        assert io.sleeps == [0.1, 0.2, 0.25, 0.25]
+
+    def test_gives_up_after_retries(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        path.write_bytes(b"payload")
+        io = FaultyIO(fail_reads=100)
+        with pytest.raises(OSError) as excinfo:
+            read_with_retry(path, io=io, retries=2)
+        assert excinfo.value.errno == errno.EIO
+        assert io.sleeps == [0.01, 0.02]
+
+    def test_nontransient_error_propagates_immediately(self, tmp_path):
+        io = FaultyIO()
+        with pytest.raises(FileNotFoundError):
+            read_with_retry(tmp_path / "missing.bin", io=io)
+        assert io.sleeps == []

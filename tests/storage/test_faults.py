@@ -1,0 +1,145 @@
+"""The fault injector itself: its durability model must be trustworthy.
+
+Every crash-safety claim in this package rests on :class:`FaultyIO`
+modeling a power cut honestly — unsynced writes lost, torn prefixes
+visible, kill points firing exactly once each. These tests pin that
+model so the kill-point sweeps prove something real.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.storage.faults import (
+    FaultyIO,
+    SimulatedCrash,
+    count_ops,
+    sweep_kill_points,
+)
+
+
+class TestDurabilityModel:
+    def test_unsynced_writes_die_with_the_machine(self, tmp_path):
+        path = tmp_path / "f.bin"
+        io = FaultyIO()
+        handle = io.open(path, "wb")
+        io.write(handle, b"volatile")
+        io.crashed = True  # the power cut
+        io.close(handle)
+        assert not path.exists()
+
+    def test_fsynced_writes_survive(self, tmp_path):
+        path = tmp_path / "f.bin"
+        io = FaultyIO()
+        handle = io.open(path, "wb")
+        io.write(handle, b"durable")
+        io.fsync(handle)
+        io.crashed = True
+        io.close(handle)
+        assert path.read_bytes() == b"durable"
+
+    def test_clean_close_flushes_like_page_cache(self, tmp_path):
+        path = tmp_path / "f.bin"
+        io = FaultyIO()
+        handle = io.open(path, "wb")
+        io.write(handle, b"lazy")
+        io.close(handle)
+        assert path.read_bytes() == b"lazy"
+
+    def test_append_mode_preserves_existing_bytes(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"head")
+        io = FaultyIO()
+        handle = io.open(path, "ab")
+        io.write(handle, b"+tail")
+        io.fsync(handle)
+        io.close(handle)
+        assert path.read_bytes() == b"head+tail"
+
+
+class TestByteFaults:
+    def test_torn_write_leaves_prefix_visible(self, tmp_path):
+        path = tmp_path / "f.bin"
+        io = FaultyIO(crash_after_bytes=3)
+        handle = io.open(path, "wb")
+        with pytest.raises(SimulatedCrash):
+            io.write(handle, b"abcdef")
+        # Worst case: the torn prefix reached disk before the power cut.
+        assert path.read_bytes() == b"abc"
+        io.close(handle)
+        assert path.read_bytes() == b"abc"
+
+    def test_enospc_is_survivable_with_partial_file(self, tmp_path):
+        path = tmp_path / "f.bin"
+        io = FaultyIO(enospc_after_bytes=2)
+        handle = io.open(path, "wb")
+        with pytest.raises(OSError) as excinfo:
+            io.write(handle, b"abcdef")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert not io.crashed
+        assert path.read_bytes() == b"ab"
+
+    def test_flip_byte_at_cumulative_offset(self, tmp_path):
+        path = tmp_path / "f.bin"
+        io = FaultyIO(flip_byte_at=5)
+        handle = io.open(path, "wb")
+        io.write(handle, b"abcd")
+        io.write(handle, b"efgh")  # offset 5 is 'f'
+        io.fsync(handle)
+        io.close(handle)
+        expected = bytearray(b"abcdefgh")
+        expected[5] ^= 0x40
+        assert path.read_bytes() == bytes(expected)
+
+    def test_torn_rename_never_renames(self, tmp_path):
+        src = tmp_path / "src.bin"
+        dst = tmp_path / "dst.bin"
+        src.write_bytes(b"new")
+        dst.write_bytes(b"old")
+        io = FaultyIO(torn_rename=True)
+        with pytest.raises(SimulatedCrash):
+            io.replace(src, dst)
+        assert dst.read_bytes() == b"old"
+        assert src.read_bytes() == b"new"
+
+
+class TestKillPoints:
+    def test_crash_fires_before_the_scheduled_op(self, tmp_path):
+        path = tmp_path / "f.bin"
+        io = FaultyIO(crash_at_op=1)  # write is op 0, fsync is op 1
+        handle = io.open(path, "wb")
+        io.write(handle, b"data")
+        with pytest.raises(SimulatedCrash):
+            io.fsync(handle)
+        io.close(handle)
+        assert not path.exists()  # fsync never ran -> nothing durable
+
+    def test_count_ops_records_without_crashing(self, tmp_path):
+        path = tmp_path / "f.bin"
+
+        def action(io):
+            handle = io.open(path, "wb")
+            io.write(handle, b"data")
+            io.fsync(handle)
+            io.close(handle)
+            io.replace(path, tmp_path / "g.bin")
+
+        assert count_ops(action) == 3  # write, fsync, replace
+
+    def test_sweep_visits_every_kill_point(self, tmp_path):
+        seen = []
+
+        def action(io):
+            handle = io.open(tmp_path / "f.bin", "wb")
+            io.write(handle, b"data")
+            io.fsync(handle)
+            io.close(handle)
+
+        def check(io):
+            seen.append(io.crash_at_op)
+            assert io.crashed
+
+        assert sweep_kill_points(action, check) == 2
+        assert seen == [0, 1]

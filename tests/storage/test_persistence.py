@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.picker import PickerConfig, PS3Picker
-from repro.errors import ConfigError
+from repro.errors import ConfigError, CorruptBundleError
 from repro.ml.gbrt import GBRTRegressor
 from repro.storage import load_model, load_statistics, save_model, save_statistics
 
@@ -125,7 +125,20 @@ class TestModelRoundtrip:
         __, model_path = saved
         payload = json.loads(model_path.read_text())
         payload["feature_dimension"] += 1
+        # Drop the self-checksum: this test is about the semantic
+        # dimension check, not corruption detection (legacy files
+        # without a crc32 key still load).
+        payload.pop("crc32", None)
         bad_path = tmp_path / "bad_model.json"
         bad_path.write_text(json.dumps(payload))
         with pytest.raises(ConfigError, match="retrain"):
+            load_model(bad_path, trained_ps3.statistics)
+
+    def test_tampered_model_fails_checksum(self, saved, trained_ps3, tmp_path):
+        __, model_path = saved
+        payload = json.loads(model_path.read_text())
+        payload["feature_dimension"] += 1
+        bad_path = tmp_path / "rotted_model.json"
+        bad_path.write_text(json.dumps(payload))
+        with pytest.raises(CorruptBundleError, match="checksum"):
             load_model(bad_path, trained_ps3.statistics)

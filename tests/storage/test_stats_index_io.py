@@ -1,4 +1,4 @@
-"""Round-trips of the persisted columnar-index artifacts (format v2).
+"""Round-trips of the persisted columnar-index artifacts (formats v2/v3).
 
 The stats file may now carry the :class:`ColumnarSketchIndex` arrays and
 the warm plan-cache keys alongside the sketch blob. Pinned here:
@@ -7,8 +7,11 @@ the warm plan-cache keys alongside the sketch blob. Pinned here:
   export;
 * version-1 files (no index section) still load, with ``index=None`` as
   the re-export fallback signal;
-* corrupted index sections and unsupported versions raise clean
-  :class:`~repro.errors.ConfigError`;
+* a corrupted index *section* degrades (``index=None`` plus a
+  :class:`~repro.errors.DegradedLoadWarning`) because the sketch blob
+  can rebuild it; unsupported versions raise
+  :class:`~repro.errors.CorruptBundleError` — still catchable as
+  :class:`~repro.errors.ConfigError` for one deprecation release;
 * a cold start through the persisted index never touches the
   sketch-object export path (spy test).
 """
@@ -17,11 +20,12 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, CorruptBundleError, DegradedLoadWarning
 from repro.sketches.columnar import ColumnarSketchIndex
 from repro.stats.features import FeatureBuilder
 from repro.storage import (
@@ -32,10 +36,12 @@ from repro.storage import (
     save_statistics,
 )
 
+_FOOTER_MAGIC = b"PS3C"
+
 
 @pytest.fixture(scope="module")
 def saved_with_index(tiny_stats, tmp_path_factory):
-    path = tmp_path_factory.mktemp("stats_v2") / "tiny.ps3stats"
+    path = tmp_path_factory.mktemp("stats_v3") / "tiny.ps3stats"
     index = ColumnarSketchIndex.build(tiny_stats)
     save_statistics(
         tiny_stats, path, index=index, plan_cache_keys=("p-a", "p-b")
@@ -44,14 +50,24 @@ def saved_with_index(tiny_stats, tmp_path_factory):
 
 
 def _rewrite_manifest(path, out_path, mutate):
+    """Mutate the manifest while keeping the v3 integrity footer valid.
+
+    Recomputing the footer CRC makes the *mutation* the thing under
+    test; without it every rewrite would trip the manifest checksum
+    before reaching the targeted code path.
+    """
     raw = path.read_bytes()
     header_size = int.from_bytes(raw[:8], "little")
     manifest = json.loads(raw[8 : 8 + header_size])
+    blob = raw[8 + header_size :]
+    had_footer = manifest.get("version", 1) >= 3
+    if had_footer:
+        blob = blob[:-8]
     mutate(manifest)
     header = json.dumps(manifest).encode("utf-8")
-    out_path.write_bytes(
-        struct.pack("<Q", len(header)) + header + raw[8 + header_size :]
-    )
+    if manifest.get("version", 1) >= 3:
+        blob = blob + _FOOTER_MAGIC + struct.pack("<I", zlib.crc32(header))
+    out_path.write_bytes(struct.pack("<Q", len(header)) + header + blob)
     return out_path
 
 
@@ -125,6 +141,8 @@ class TestOldFormatFallback:
             manifest["version"] = 1
             manifest.pop("index", None)
             manifest.pop("plan_cache_keys", None)
+            manifest.pop("sections", None)
+            manifest.pop("wal_applied_seq", None)
 
         v1 = _rewrite_manifest(path, tmp_path / "v1.ps3stats", downgrade)
         bundle = load_statistics_bundle(v1)
@@ -143,12 +161,25 @@ class TestCorruption:
             tmp_path / "v99.ps3stats",
             lambda manifest: manifest.update(version=99),
         )
-        with pytest.raises(ConfigError, match="version"):
+        with pytest.raises(CorruptBundleError, match="version"):
             load_statistics_bundle(bad)
+        # Deprecated compatibility: corruption stays catchable as
+        # ConfigError for one release (CorruptBundleError subclasses it).
         with pytest.raises(ConfigError, match="version"):
             load_statistics(bad)
 
-    def test_out_of_bounds_array_rejected(self, saved_with_index, tmp_path):
+    def _assert_degrades(self, bad, tiny_stats):
+        """A damaged index section loads with index=None + a warning."""
+        with pytest.warns(DegradedLoadWarning) as caught:
+            bundle = load_statistics_bundle(bad)
+        assert bundle.index is None
+        assert caught[0].message.reason == "index-corrupt"
+        # The statistics themselves are intact — the index is a cache.
+        assert bundle.statistics.num_partitions == tiny_stats.num_partitions
+
+    def test_out_of_bounds_array_degrades(
+        self, saved_with_index, tiny_stats, tmp_path
+    ):
         path, __ = saved_with_index
 
         def clobber(manifest):
@@ -156,10 +187,9 @@ class TestCorruption:
             manifest["index"]["columns"][column]["stats"][0] = 10**9
 
         bad = _rewrite_manifest(path, tmp_path / "oob.ps3stats", clobber)
-        with pytest.raises(ConfigError, match="corrupt"):
-            load_statistics_bundle(bad)
+        self._assert_degrades(bad, tiny_stats)
 
-    def test_bad_dtype_rejected(self, saved_with_index, tmp_path):
+    def test_bad_dtype_degrades(self, saved_with_index, tiny_stats, tmp_path):
         path, __ = saved_with_index
 
         def clobber(manifest):
@@ -167,10 +197,11 @@ class TestCorruption:
             manifest["index"]["columns"][column]["stats"][2] = "not-a-dtype"
 
         bad = _rewrite_manifest(path, tmp_path / "dtype.ps3stats", clobber)
-        with pytest.raises(ConfigError, match="corrupt"):
-            load_statistics_bundle(bad)
+        self._assert_degrades(bad, tiny_stats)
 
-    def test_missing_field_rejected(self, saved_with_index, tmp_path):
+    def test_missing_field_degrades(
+        self, saved_with_index, tiny_stats, tmp_path
+    ):
         path, __ = saved_with_index
 
         def clobber(manifest):
@@ -178,17 +209,56 @@ class TestCorruption:
             del manifest["index"]["columns"][column]["hist.edges"]
 
         bad = _rewrite_manifest(path, tmp_path / "missing.ps3stats", clobber)
-        with pytest.raises(ConfigError, match="missing"):
-            load_statistics_bundle(bad)
+        self._assert_degrades(bad, tiny_stats)
 
-    def test_partition_count_mismatch_rejected(self, saved_with_index, tmp_path):
+    def test_partition_count_mismatch_degrades(
+        self, saved_with_index, tiny_stats, tmp_path
+    ):
         path, __ = saved_with_index
         bad = _rewrite_manifest(
             path,
             tmp_path / "count.ps3stats",
             lambda manifest: manifest["index"].update(num_partitions=3),
         )
-        with pytest.raises(ConfigError, match="partitions"):
+        self._assert_degrades(bad, tiny_stats)
+
+    def test_flipped_manifest_byte_rejected(self, saved_with_index, tmp_path):
+        """Manifest bit-rot that the footer CRC must catch.
+
+        A flipped digit inside ``num_rows`` keeps the JSON perfectly
+        parseable — without the footer checksum this would load and
+        serve wrong numbers.
+        """
+        path, __ = saved_with_index
+        raw = bytearray(path.read_bytes())
+        header_size = int.from_bytes(raw[:8], "little")
+        marker = raw[8 : 8 + header_size].find(b'"num_rows":')
+        assert marker >= 0
+        digit = 8 + marker + len(b'"num_rows": ')
+        raw[digit] = ord("9") if raw[digit] != ord("9") else ord("8")
+        bad = tmp_path / "rot.ps3stats"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(CorruptBundleError, match="manifest checksum"):
+            load_statistics_bundle(bad)
+
+    def test_flipped_sketch_blob_byte_rejected(
+        self, saved_with_index, tmp_path
+    ):
+        path, __ = saved_with_index
+        raw = bytearray(path.read_bytes())
+        header_size = int.from_bytes(raw[:8], "little")
+        raw[8 + header_size + 3] ^= 0x40  # inside the sketch region
+        bad = tmp_path / "blobrot.ps3stats"
+        bad.write_bytes(bytes(raw))
+        with pytest.raises(CorruptBundleError, match="sketch section"):
+            load_statistics_bundle(bad)
+
+    def test_truncated_file_rejected(self, saved_with_index, tmp_path):
+        path, __ = saved_with_index
+        raw = path.read_bytes()
+        bad = tmp_path / "torn.ps3stats"
+        bad.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptBundleError):
             load_statistics_bundle(bad)
 
     def test_stale_index_rejected_by_feature_builder(self, tiny_stats):

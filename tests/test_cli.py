@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import shutil
 
 import pytest
 
@@ -107,6 +108,118 @@ class TestEvaluate:
         captured = capsys.readouterr().out
         assert "avg rel err" in captured
         assert "4 random workload queries" in captured
+
+
+class TestAppendCheckpoint:
+    """The WAL-backed append/checkpoint lifecycle, including recovery."""
+
+    QUERY = "SELECT COUNT(*) GROUP BY protocol_type"
+
+    @pytest.fixture()
+    def deploy(self, deployment, tmp_path):
+        """A private copy: these tests mutate the deployment directory."""
+        copy = tmp_path / "deploy"
+        shutil.copytree(deployment, copy)
+        return copy
+
+    def _count_answer(self, capsys, deploy):
+        assert main(
+            ["query", "--deploy", str(deploy), "--budget", "1.0", self.QUERY]
+        ) == 0
+        out = capsys.readouterr().out
+        return [line for line in out.splitlines() if "partitions" not in line]
+
+    def test_append_journals_and_serves(self, deploy, capsys):
+        code = main(["append", "--deploy", str(deploy), "--rows", "400"])
+        assert code == 0
+        assert "WAL record 1" in capsys.readouterr().out
+        assert (deploy / "stats.ps3wal").exists()
+        manifest = json.loads((deploy / "manifest.json").read_text())
+        assert manifest["appends"][0]["rows"] == 400
+        assert manifest["appends"][0]["seq"] == 1
+        # The appended partition is served (13 partitions now, was 12).
+        assert main(
+            ["query", "--deploy", str(deploy), "--budget", "1.0", self.QUERY]
+        ) == 0
+        assert "/13 partitions" in capsys.readouterr().out
+
+    def test_checkpoint_folds_and_answers_identically(self, deploy, capsys):
+        assert main(["append", "--deploy", str(deploy), "--rows", "400"]) == 0
+        capsys.readouterr()
+        before = self._count_answer(capsys, deploy)
+        wal_size = (deploy / "stats.ps3wal").stat().st_size
+        assert main(["checkpoint", "--deploy", str(deploy)]) == 0
+        out = capsys.readouterr().out
+        assert "folded 1 journaled batches" in out
+        # Journal truncated back to its bare header.
+        assert (deploy / "stats.ps3wal").stat().st_size < wal_size
+        assert self._count_answer(capsys, deploy) == before
+
+    def test_crash_between_wal_and_manifest_recovers(self, deploy, capsys):
+        """An append that died after the fsync but before the manifest
+        update: the batch replays from the journal, and the next
+        checkpoint reconciles the manifest entry from the record meta."""
+        assert main(["append", "--deploy", str(deploy), "--rows", "400"]) == 0
+        capsys.readouterr()
+        with_entry = self._count_answer(capsys, deploy)
+        manifest = json.loads((deploy / "manifest.json").read_text())
+        entry = manifest["appends"].pop()  # simulate the crash
+        (deploy / "manifest.json").write_text(json.dumps(manifest))
+        assert self._count_answer(capsys, deploy) == with_entry
+        assert main(["checkpoint", "--deploy", str(deploy)]) == 0
+        capsys.readouterr()
+        reconciled = json.loads((deploy / "manifest.json").read_text())
+        assert reconciled["appends"] == [entry]
+        assert self._count_answer(capsys, deploy) == with_entry
+
+    def test_torn_wal_tail_degrades_to_last_batch(self, deploy, capsys):
+        assert main(["append", "--deploy", str(deploy), "--rows", "400"]) == 0
+        intact = (deploy / "stats.ps3wal").stat().st_size
+        assert main(["append", "--deploy", str(deploy), "--rows", "300"]) == 0
+        capsys.readouterr()
+        raw = (deploy / "stats.ps3wal").read_bytes()
+        (deploy / "stats.ps3wal").write_bytes(raw[: intact + 25])
+        with pytest.warns(Warning, match="torn"):
+            assert main(
+                [
+                    "query",
+                    "--deploy", str(deploy),
+                    "--budget", "1.0",
+                    self.QUERY,
+                ]
+            ) == 0
+        # Batch 1 survives; the torn batch 2 is dropped.
+        assert "/13 partitions" in capsys.readouterr().out
+
+    def test_checkpoint_prunes_orphaned_manifest_entries(
+        self, deploy, capsys
+    ):
+        """An entry whose journal record was lost (bit-rot, not a crash
+        — a crash can't leave the entry without the fsynced record) must
+        not survive checkpoint, or the next append would reuse its seq
+        and the regenerated table would desync from the statistics."""
+        assert main(["append", "--deploy", str(deploy), "--rows", "300"]) == 0
+        capsys.readouterr()
+        # Wipe the record wholesale, leaving a valid empty journal.
+        wal = deploy / "stats.ps3wal"
+        wal.write_bytes(wal.read_bytes()[:16])
+        assert main(["checkpoint", "--deploy", str(deploy)]) == 0
+        out = capsys.readouterr().out
+        assert "dropped 1 append entries" in out
+        manifest = json.loads((deploy / "manifest.json").read_text())
+        assert manifest["appends"] == []
+        # The freed sequence number is safe to reuse.
+        assert main(["append", "--deploy", str(deploy), "--rows", "200"]) == 0
+        capsys.readouterr()
+        manifest = json.loads((deploy / "manifest.json").read_text())
+        assert [e["seq"] for e in manifest["appends"]] == [1]
+        assert main(
+            ["query", "--deploy", str(deploy), "--budget", "1.0", self.QUERY]
+        ) == 0
+        assert "/13 partitions" in capsys.readouterr().out
+        assert main(["checkpoint", "--deploy", str(deploy)]) == 0
+        capsys.readouterr()
+        assert self._count_answer(capsys, deploy)
 
 
 class TestPersistedPlanKeys:
