@@ -13,11 +13,15 @@ per repeat so its one-time truth-block build is inside the measurement.
 
 Candidate selections replicate the Table 8 sweep shape: per query a
 fixed ranking is swept over (budget fraction x stratum size) candidates
-drawn by ``stratified_select``. The same selections are scored by both
-paths, and every (query, candidate) report is asserted *identical*
-(``ErrorReport ==``, no tolerance) before timings are reported — the
-speedup is only meaningful if the answers cannot drift. Emits
-``BENCH_perf_estimation_plane.json`` under ``benchmarks/results/``.
+drawn by ``stratified_select``. A third timing covers the fused
+candidate grid (``BlockEstimator.score_grid``): all candidates lowered
+into one concatenated gather and a single 2-D bincount per query, the
+shape the LSS sweep actually runs post-fusion. The same selections are
+scored by every path, and every (query, candidate) report is asserted
+*identical* (``ErrorReport ==``, no tolerance) before timings are
+reported — the speedups are only meaningful if the answers cannot
+drift. Emits ``BENCH_perf_estimation_plane.json`` under
+``benchmarks/results/``.
 
 Run directly::
 
@@ -153,6 +157,23 @@ def _time_block_path(matrix, queries, candidates) -> tuple[float, list]:
     return min(timings), reports
 
 
+def _time_grid_path(matrix, queries, candidates) -> tuple[float, list]:
+    """Best-of-REPEATS seconds + reports: the fused candidate grid —
+    one ``score_grid`` call per query scores every candidate through a
+    single concatenated gather + 2-D bincount. Fresh estimator per
+    repeat, so the truth-block build is inside the timing (as for the
+    per-candidate block path)."""
+    timings, reports = [], []
+    for __ in range(REPEATS):
+        reports = []
+        started = time.perf_counter()
+        for qi in range(len(queries)):
+            estimator = BlockEstimator.from_matrix(matrix, qi)
+            reports.extend(estimator.score_grid(candidates))
+        timings.append(time.perf_counter() - started)
+    return min(timings), reports
+
+
 def run() -> dict:
     queries = _queries()
     rows = []
@@ -160,13 +181,19 @@ def run() -> dict:
         ptable = _build_ptable(num_partitions)
         matrix = WorkloadExecutor.for_table(ptable).answer_matrix(queries)
         candidates = _candidates(num_partitions)
-        # Warm both paths (lazy views, allocator) before timing.
+        # Warm the paths (lazy views, allocator) before timing.
         _time_block_path(matrix, queries, candidates)
+        _time_grid_path(matrix, queries, candidates)
         dict_s, dict_reports = _time_dict_path(matrix, queries, candidates)
         block_s, block_reports = _time_block_path(matrix, queries, candidates)
+        grid_s, grid_reports = _time_grid_path(matrix, queries, candidates)
         assert block_reports == dict_reports, (
             "block and dict paths disagree — parity is a hard precondition "
             "of the speedup claim"
+        )
+        assert grid_reports == dict_reports, (
+            "fused grid and dict paths disagree — parity is a hard "
+            "precondition of the speedup claim"
         )
         rows.append(
             {
@@ -175,7 +202,10 @@ def run() -> dict:
                 "candidates": len(candidates),
                 "dict_ms": dict_s * 1e3,
                 "block_ms": block_s * 1e3,
+                "grid_ms": grid_s * 1e3,
                 "speedup": dict_s / block_s,
+                "grid_speedup": dict_s / grid_s,
+                "grid_over_block": block_s / grid_s,
                 "bit_identical": True,
             }
         )
@@ -192,14 +222,24 @@ def run() -> dict:
     emit(
         "perf_estimation_plane",
         format_table(
-            ["partitions", "candidates", "dict (ms)", "block (ms)", "speedup"],
+            [
+                "partitions",
+                "candidates",
+                "dict (ms)",
+                "block (ms)",
+                "grid (ms)",
+                "block speedup",
+                "grid speedup",
+            ],
             [
                 [
                     r["partitions"],
                     r["candidates"] * r["queries"],
                     r["dict_ms"],
                     r["block_ms"],
+                    r["grid_ms"],
                     f"{r['speedup']:.1f}x",
+                    f"{r['grid_speedup']:.1f}x",
                 ]
                 for r in rows
             ],
@@ -213,11 +253,15 @@ def run() -> dict:
 def test_perf_estimation_plane():
     report = run()
     # The block plane must never lose, and must clear the 5x acceptance
-    # bar from 256 partitions up.
+    # bar from 256 partitions up; the fused grid must beat the
+    # per-candidate block path it replaces.
     for row in report["results"]:
         assert row["speedup"] > 1.0, row
+        assert row["grid_speedup"] > 1.0, row
+        assert row["grid_over_block"] > 1.0, row
         if row["partitions"] >= 256:
             assert row["speedup"] >= 5.0, row
+            assert row["grid_speedup"] >= 5.0, row
 
 
 if __name__ == "__main__":

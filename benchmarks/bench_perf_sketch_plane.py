@@ -11,11 +11,19 @@ section 2.3.1) two ways:
 * **cold start**: loading a saved deployment the pre-PR-5 way
   (``load_statistics`` + ``ColumnarSketchIndex.build``, i.e. re-export
   every sketch object into arrays) against
-  ``load_statistics_bundle`` on a file that persisted the index arrays.
+  ``load_statistics_bundle`` on a file that persisted the index arrays,
+  and against the mmap load (``mmap=True``), which maps the file and
+  hands out the index as read-only zero-copy views without ever
+  decoding (or even checksumming) the sketch section.
 
-Both comparisons assert bit-identical results (sketch encodings for the
-build, index arrays for the cold start) before any timing is reported —
-the speedups are only meaningful if the artifacts cannot drift. Emits
+Every comparison asserts bit-identical results (sketch encodings for
+the build, index arrays for the cold starts) before any timing is
+reported — the speedups are only meaningful if the artifacts cannot
+drift. Alongside the timings, the cold-start rows record the *bytes a
+load must touch* (whole file for the deserializing paths; manifest +
+index section + footer for the index-only mmap path — deterministic,
+from the manifest) and the measured RSS delta of one load (advisory:
+allocator noise makes it a trend, not a bar). Emits
 ``BENCH_perf_sketch_plane.json`` under ``benchmarks/results/``.
 
 Run directly::
@@ -30,6 +38,7 @@ or via pytest::
 from __future__ import annotations
 
 import json
+import struct
 import tempfile
 import time
 from pathlib import Path
@@ -126,13 +135,43 @@ def _time_builds(ptable) -> tuple[float, float, bool]:
     return min(scalar_s), min(vector_s), _sketches_identical(scalar, vector)
 
 
-def _time_cold_start(stats, directory: Path) -> tuple[float, float, bool]:
-    """Best-of-REPEATS seconds: export-on-load vs persisted-index load."""
+def _rss_kb() -> float:
+    """Resident set size in kB from ``/proc`` (0.0 where unavailable)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1])
+    except OSError:
+        pass
+    return 0.0
+
+
+def _bytes_touched(path: Path) -> tuple[int, int]:
+    """(whole file, manifest + index section + footer) in bytes.
+
+    The second figure is what the index-only mmap cold start faults in:
+    everything a deserializing load reads except the sketch section,
+    straight from the manifest's section table — deterministic, unlike
+    page-cache accounting."""
+    total = path.stat().st_size
+    with open(path, "rb") as fh:
+        (header_size,) = struct.unpack("<Q", fh.read(8))
+        manifest = json.loads(fh.read(header_size))
+    index_length = manifest["sections"].get("index", [0, 0, 0])[1]
+    return total, 8 + header_size + index_length + 8
+
+
+def _time_cold_start(
+    stats, directory: Path
+) -> tuple[float, float, float, dict, bool]:
+    """Best-of-REPEATS seconds: export-on-load vs persisted-index load
+    vs index-only mmap load — plus the bytes-touched/RSS side channel."""
     path = directory / "deploy.ps3stats"
     fresh_index = ColumnarSketchIndex.build(stats)
     save_statistics(stats, path, index=fresh_index)
-    export_s, bundle_s = [], []
-    loaded_index = None
+    export_s, bundle_s, mmap_s = [], [], []
+    loaded_index = mapped_index = None
     for __ in range(REPEATS):
         started = time.perf_counter()
         reloaded = load_statistics(path)
@@ -141,11 +180,27 @@ def _time_cold_start(stats, directory: Path) -> tuple[float, float, bool]:
         started = time.perf_counter()
         loaded_index = load_statistics_bundle(path).index
         bundle_s.append(time.perf_counter() - started)
-    return (
-        min(export_s),
-        min(bundle_s),
-        _indexes_identical(fresh_index, loaded_index),
-    )
+        started = time.perf_counter()
+        mapped_index = load_statistics_bundle(path, mmap=True).index
+        mmap_s.append(time.perf_counter() - started)
+    file_bytes, mmap_bytes = _bytes_touched(path)
+    before = _rss_kb()
+    full_bundle = load_statistics_bundle(path)
+    rss_full = _rss_kb() - before
+    before = _rss_kb()
+    mapped_bundle = load_statistics_bundle(path, mmap=True).index
+    rss_mmap = _rss_kb() - before
+    del full_bundle, mapped_bundle
+    footprint = {
+        "file_kb": file_bytes / 1024.0,
+        "touched_mmap_kb": mmap_bytes / 1024.0,
+        "rss_full_kb": rss_full,
+        "rss_mmap_kb": rss_mmap,
+    }
+    identical = _indexes_identical(
+        fresh_index, loaded_index
+    ) and _indexes_identical(fresh_index, mapped_index)
+    return min(export_s), min(bundle_s), min(mmap_s), footprint, identical
 
 
 def run() -> dict:
@@ -160,8 +215,8 @@ def run() -> dict:
         )
         stats = build_dataset_statistics(ptable)
         with tempfile.TemporaryDirectory() as tmp:
-            export_s, bundle_s, index_identical = _time_cold_start(
-                stats, Path(tmp)
+            export_s, bundle_s, mmap_s, footprint, index_identical = (
+                _time_cold_start(stats, Path(tmp))
             )
         assert index_identical, (
             "persisted index differs from a fresh export — parity is a "
@@ -175,8 +230,11 @@ def run() -> dict:
                 "speedup": scalar_s / vector_s,
                 "cold_export_ms": export_s * 1e3,
                 "cold_index_ms": bundle_s * 1e3,
+                "cold_mmap_ms": mmap_s * 1e3,
                 "cold_speedup": export_s / bundle_s,
+                "mmap_speedup": bundle_s / mmap_s,
                 "bit_identical": True,
+                **footprint,
             }
         )
     report = {
@@ -202,7 +260,10 @@ def run() -> dict:
                 "speedup",
                 "cold export (ms)",
                 "cold index (ms)",
+                "cold mmap (ms)",
                 "cold speedup",
+                "mmap speedup",
+                "touched (kB)",
             ],
             [
                 [
@@ -212,7 +273,10 @@ def run() -> dict:
                     f"{r['speedup']:.1f}x",
                     r["cold_export_ms"],
                     r["cold_index_ms"],
+                    r["cold_mmap_ms"],
                     f"{r['cold_speedup']:.1f}x",
+                    f"{r['mmap_speedup']:.1f}x",
+                    f"{r['touched_mmap_kb']:.0f}/{r['file_kb']:.0f}",
                 ]
                 for r in rows
             ],
@@ -225,12 +289,18 @@ def run() -> dict:
 def test_perf_sketch_plane():
     report = run()
     # The vectorized plane must never lose, and must be measurably
-    # faster (acceptance bar) from 256 partitions up.
+    # faster (acceptance bar) from 256 partitions up; the mmap cold
+    # start must clear 2x over the full deserializing bundle load at
+    # 1024 partitions.
     for row in report["results"]:
         assert row["speedup"] > 1.0, row
         assert row["cold_speedup"] > 1.0, row
+        assert row["mmap_speedup"] > 1.0, row
+        assert row["touched_mmap_kb"] < row["file_kb"], row
         if row["partitions"] >= 256:
             assert row["speedup"] >= 1.5, row
+        if row["partitions"] >= 1024:
+            assert row["mmap_speedup"] >= 2.0, row
 
 
 if __name__ == "__main__":

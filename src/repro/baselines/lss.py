@@ -28,7 +28,13 @@ reference oracle — both choose identical strata, report for report, bit
 for bit. Per-query sweep state (passing set, model ranking, exact
 answer) is hoisted out of the candidate loops: it is invariant across
 the grid, and recomputing the weight-1 truth per candidate used to
-dominate the sweep's cost.
+dominate the sweep's cost. Candidate scoring itself is fused: each
+query's whole (fraction × stratum size) candidate set goes through one
+:func:`~repro.engine.block_estimator.selection_grid_scorer` call, which
+lowers the batch into a single segment gather plus one fused
+``np.bincount`` — a handful of array passes instead of one Python call
+chain per candidate, with reports bit-identical to candidate-at-a-time
+scoring.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ import numpy as np
 
 from repro.core.metrics import mean_report
 from repro.core.training import TrainingConfig, TrainingData
-from repro.engine.block_estimator import selection_scorer
+from repro.engine.block_estimator import selection_grid_scorer
 from repro.engine.combiner import WeightedChoice
 from repro.engine.query import Query
 from repro.errors import ConfigError, NotFittedError
@@ -147,9 +153,18 @@ class LSSSampler:
         Per-query state (passing set, model ranking, exact answer) is
         invariant across the (fraction, size) grid and hoisted into one
         preparation pass; the grid loops then only draw the candidate
-        selection and score it. The rank order of ``rng`` draws matches
-        the naive nested loop exactly, so sweep results are reproducible
-        across the refactor and across estimation paths.
+        selections, and each query scores its whole size grid in one
+        fused ``score_grid`` call. The rank order of ``rng`` draws
+        matches the naive nested loop exactly — (fraction → size →
+        query), with out-of-range sizes skipped before drawing — so
+        sweep results are reproducible across the refactor and across
+        estimation paths.
+
+        Tiny tables: when every size in ``stratum_grid`` exceeds
+        ``num_partitions`` there is nothing to sweep, and the recorded
+        size is clamped to ``num_partitions`` (one stratum spanning the
+        whole table) instead of silently keeping an out-of-range
+        ``stratum_grid[0]``.
         """
         rng = np.random.default_rng(self.seed)
         num_partitions = data.features[0].shape[0]
@@ -166,20 +181,28 @@ class LSSSampler:
                 continue
             scores = self._model.predict(normalized[qid][passing])
             ranked = passing[np.argsort(-scores)]
-            score = selection_scorer(
+            score_grid = selection_grid_scorer(
                 data.queries[qid], data.answers[qid], self.estimation_path
             )
-            prepared.append((ranked, score))
+            prepared.append((ranked, score_grid))
+        sizes = [s for s in self.stratum_grid if s <= num_partitions]
         for fraction in budget_fractions:
             budget = max(1, int(round(fraction * num_partitions)))
-            best_size, best_error = self.stratum_grid[0], float("inf")
-            for size in self.stratum_grid:
-                if size > num_partitions:
-                    continue
-                reports = [
-                    score(stratified_select(ranked, budget, size, rng))
-                    for ranked, score in prepared
-                ]
+            # Draw every candidate first, in the naive loop's rng order
+            # (size-major, query-minor), then score each query's grid in
+            # one fused pass.
+            grids: list[list] = [[] for __ in prepared]
+            for size in sizes:
+                for i, (ranked, __) in enumerate(prepared):
+                    grids[i].append(stratified_select(ranked, budget, size, rng))
+            reports_by_query = [
+                score_grid(grid)
+                for grid, (__, score_grid) in zip(grids, prepared)
+            ]
+            best_size = min(self.stratum_grid[0], num_partitions)
+            best_error = float("inf")
+            for j, size in enumerate(sizes):
+                reports = [per_query[j] for per_query in reports_by_query]
                 error = (
                     mean_report(reports).avg_relative_error
                     if reports

@@ -18,7 +18,11 @@ answers keep the ``engine/combiner.estimate`` walk as the reference
 oracle — the two produce bit-identical errors. Per-query sweep state
 (passing sets and the exact answers) is independent of the exclusion set
 and prepared once per evaluator, so each additional exclusion set only
-pays for clustering and candidate scoring.
+pays for clustering and candidate scoring — and the scoring itself is
+fused: each query's budget-fraction candidates go through one
+:func:`~repro.engine.block_estimator.selection_grid_scorer` call (a
+single segment gather plus one fused ``np.bincount``), bit-identical to
+candidate-at-a-time scoring.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ import numpy as np
 from repro.core.cluster_sampler import cluster_sample
 from repro.core.metrics import mean_report
 from repro.core.training import TrainingData
-from repro.engine.block_estimator import selection_scorer
+from repro.engine.block_estimator import selection_grid_scorer
 from repro.errors import ConfigError
 from repro.stats.features import FeatureSchema
 
@@ -80,12 +84,12 @@ class ClusteringErrorEvaluator:
             passing = np.flatnonzero(raw[:, upper_index] > 0.0)
             if passing.size == 0:
                 continue
-            score = selection_scorer(
+            score_grid = selection_grid_scorer(
                 self.data.queries[qid],
                 self.data.answers[qid],
                 self.estimation_path,
             )
-            prepared.append((qid, passing, score))
+            prepared.append((qid, passing, score_grid))
         return prepared
 
     def error(self, excluded: frozenset[str]) -> float:
@@ -100,19 +104,20 @@ class ClusteringErrorEvaluator:
         if self._prepared is None:
             self._prepared = self._prepare()
         reports = []
-        for qid, passing, score in self._prepared:
+        for qid, passing, score_grid in self._prepared:
             normalized = self.data.normalized[qid][:, keep]
             num_partitions = normalized.shape[0]
-            for fraction in self.budget_fractions:
-                budget = max(1, int(round(fraction * num_partitions)))
-                selection = cluster_sample(
+            selections = [
+                cluster_sample(
                     normalized,
                     passing,
-                    budget,
+                    max(1, int(round(fraction * num_partitions))),
                     algorithm=self.algorithm,
                     seed=self.seed,
                 )
-                reports.append(score(selection))
+                for fraction in self.budget_fractions
+            ]
+            reports.extend(score_grid(selections))
         score_value = (
             mean_report(reports).avg_relative_error if reports else float("inf")
         )

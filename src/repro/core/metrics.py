@@ -9,14 +9,20 @@ error while missing every small group:
 * **absolute error over true** — per aggregate, mean absolute error across
   groups divided by the mean absolute true value, averaged over aggregates.
 
-Two entry points share one matrix core: :func:`evaluate_errors` walks
-``FinalAnswer`` dicts (the reference path), and
+Three entry points share one matrix core: :func:`evaluate_errors` walks
+``FinalAnswer`` dicts (the reference path),
 :func:`evaluate_errors_block` scores the array form the
 :class:`~repro.engine.block_estimator.BlockEstimator` produces — group
-rows addressed by code instead of key, presence as boolean vectors. Both
-order groups canonically (ascending group key, which is exactly the
-block path's code order), so for the same answers they return the same
-:class:`ErrorReport` bit for bit.
+rows addressed by code instead of key, presence as boolean vectors —
+and :func:`evaluate_errors_grid` scores a whole *batch* of estimates
+against one truth in a handful of array passes (the sweep loops' shape:
+many candidate selections, one exact answer). All order groups
+canonically (ascending group key, which is exactly the block path's
+code order), so for the same answers they return the same
+:class:`ErrorReport` bit for bit: the grid form does its elementwise
+work over the stacked ``(candidates, groups, aggregates)`` block and
+replays each float reduction on the candidate's own 2-D slice, the
+exact chain the standalone matrix core runs.
 """
 
 from __future__ import annotations
@@ -139,6 +145,74 @@ def evaluate_errors_block(
         0.0,
     )
     return _matrix_report(true_matrix, est_matrix, present)
+
+
+def evaluate_errors_grid(
+    true_values: np.ndarray,
+    true_present: np.ndarray,
+    est_values: np.ndarray,
+    est_present: np.ndarray,
+) -> list[ErrorReport]:
+    """Batched :func:`evaluate_errors_block`: many estimates, one truth.
+
+    ``est_values`` is a ``(candidates, groups, aggregates)`` block and
+    ``est_present`` its ``(candidates, groups)`` presence mask, sharing
+    the truth's group-code dictionary. Returns one report per candidate,
+    bit-identical to scoring each candidate alone: the elementwise ops
+    broadcast the truth across candidates in one pass, and each float
+    reduction runs on the candidate's own 2-D slice so its IEEE-754
+    chain matches the per-candidate matrix core exactly.
+    """
+    true_present = np.asarray(true_present, dtype=bool)
+    est_present = np.asarray(est_present, dtype=bool)
+    if len(est_present) == 0:
+        return []
+    if not true_present.any():
+        return [
+            _EMPTY_TRUTH_SPURIOUS if row.any() else _EMPTY_TRUTH_EXACT
+            for row in est_present
+        ]
+
+    present = est_present[:, true_present]  # (candidates, true groups)
+    true_matrix = np.asarray(true_values, dtype=np.float64)[true_present]
+    est_block = np.where(
+        present[:, :, None],
+        np.asarray(est_values, dtype=np.float64)[:, true_present, :],
+        0.0,
+    )
+    num_candidates = est_block.shape[0]
+    missed = 1.0 - present.mean(axis=1)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.abs(est_block - true_matrix) / np.abs(true_matrix)
+    rel = np.where(np.abs(true_matrix) > 0.0, rel, np.abs(est_block) > 0.0)
+    rel[~present] = 1.0
+    # The float *reductions* run per candidate on the 2-D slice — the
+    # batched forms (``.mean(axis=1)`` on the 3-D block, row-wise means
+    # of the reshaped grid) let numpy pick a different pairwise-summation
+    # blocking than the per-candidate matrix reductions and drift by an
+    # ulp. Each slice has exactly the reference path's shape, so its
+    # chain is replayed verbatim; the expensive elementwise work above
+    # stays fully batched.
+    avg_rel = np.array([rel[k].mean() for k in range(num_candidates)])
+
+    num_aggs = true_matrix.shape[1]
+    diff = np.abs(est_block - true_matrix)
+    abs_err = np.stack(
+        [diff[k].mean(axis=0) for k in range(num_candidates)]
+    )
+    true_scale = np.abs(true_matrix).mean(axis=0)
+    ratios = np.divide(
+        abs_err,
+        true_scale,
+        out=np.zeros((num_candidates, num_aggs), dtype=np.float64),
+        where=true_scale > 0.0,
+    )
+    abs_over_true = ratios.mean(axis=1)
+    return [
+        ErrorReport(float(missed[k]), float(avg_rel[k]), float(abs_over_true[k]))
+        for k in range(num_candidates)
+    ]
 
 
 def mean_report(reports: list[ErrorReport]) -> ErrorReport:

@@ -52,6 +52,30 @@ whose report is bit-identical to ``evaluate_errors`` on the dict path's
 answers. This is what lets the LSS stratum sweep and the
 feature-selection evaluator score thousands of candidate selections per
 query without materializing a single ``ComponentAnswer`` dict.
+
+The fused candidate grid
+------------------------
+Sweeps do not score one selection — they score a *grid* of them against
+the same truth, and at sweep scale the per-candidate Python call chain
+(``combine`` -> ``finalize`` -> ``score``, each a dozen numpy calls)
+becomes the dominant cost: candidate evaluation is nearly flat in
+partition count, i.e. pure per-candidate overhead. The ``*_grid``
+methods lower the *whole batch* at once: every candidate's segment runs
+are gathered into one concatenated sequence (candidate-major, then
+selection order — exactly the order the per-candidate path visits), and
+the combine contraction becomes a single ``np.bincount`` per component
+over the fused ids ``candidate * num_groups + group``. Because bincount
+adds its weights in input scan order and the fused sequence preserves
+each candidate's visiting order, every (candidate, group) float chain is
+the identical left-to-right float64 chain the per-candidate path runs —
+reports are bit-identical, not approximately equal (pinned by the
+differential suites). Finalize batches the same way (elementwise over
+the ``(candidates, groups, aggregates)`` block), and the metrics
+(:func:`repro.core.metrics.evaluate_errors_grid`) batch the elementwise
+work while replaying each float *reduction* on the candidate's own 2-D
+slice — numpy's batched reductions may pick a different
+pairwise-summation blocking than the standalone matrix and drift by an
+ulp, so the per-candidate chains are preserved explicitly.
 """
 
 from __future__ import annotations
@@ -217,6 +241,79 @@ class BlockEstimator:
         present[gids] = True
         return combined, present
 
+    def lower_grid(
+        self, selections: list[list[WeightedChoice]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All candidates' ``(parts, weights)`` fused, plus candidate cuts.
+
+        ``parts``/``weights`` concatenate every candidate's selection in
+        candidate-major order; ``cand_cuts[k] : cand_cuts[k + 1]`` bounds
+        candidate ``k``'s run.
+        """
+        counts = np.fromiter(
+            (len(s) for s in selections), dtype=np.intp, count=len(selections)
+        )
+        total = int(counts.sum())
+        parts = np.empty(total, dtype=np.intp)
+        weights = np.empty(total, dtype=np.float64)
+        i = 0
+        for selection in selections:
+            for choice in selection:
+                parts[i] = choice.partition
+                weights[i] = choice.weight
+                i += 1
+        cand_cuts = np.concatenate(([0], np.cumsum(counts, dtype=np.intp)))
+        return parts, weights, cand_cuts
+
+    def combine_grid(
+        self, selections: list[list[WeightedChoice]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Weighted totals for a whole candidate grid in one contraction.
+
+        Returns ``(combined, present)``: a ``(candidates, groups,
+        components)`` float64 block and a ``(candidates, groups)``
+        presence mask. Row ``k`` equals ``self.combine(selections[k])``
+        bit for bit: the gathered segment sequence is candidate-major in
+        each candidate's visiting order, and one ``np.bincount`` per
+        component over ``candidate * num_groups + group`` ids replays
+        every per-(candidate, group) float chain unchanged.
+        """
+        num_candidates = len(selections)
+        combined = np.zeros(
+            (num_candidates, self.num_groups, self.num_components)
+        )
+        present = np.zeros((num_candidates, self.num_groups), dtype=bool)
+        parts, weights, cand_cuts = self.lower_grid(selections)
+        if parts.size == 0 or self.num_groups == 0:
+            return combined, present
+        lo = self.cuts[parts]
+        lens = self.cuts[parts + 1] - lo
+        total = int(lens.sum())
+        if total == 0:
+            return combined, present
+        starts = np.cumsum(lens) - lens
+        seq = (
+            np.arange(total, dtype=np.intp)
+            - np.repeat(starts, lens)
+            + np.repeat(lo, lens)
+        )
+        gids = self.seg_groups[seq]
+        values = self.seg_totals[seq] * np.repeat(weights, lens)[:, None]
+        # Segment count of each candidate: its selections' run lengths.
+        seg_bounds = np.concatenate(([0], np.cumsum(lens, dtype=np.intp)))
+        seg_counts = seg_bounds[cand_cuts[1:]] - seg_bounds[cand_cuts[:-1]]
+        cand_ids = np.repeat(
+            np.arange(num_candidates, dtype=np.intp), seg_counts
+        )
+        ids = cand_ids * self.num_groups + gids
+        flat = combined.reshape(-1, self.num_components)
+        for c in range(self.num_components):
+            flat[:, c] = np.bincount(
+                ids, weights=values[:, c], minlength=flat.shape[0]
+            )
+        present.reshape(-1)[ids] = True
+        return combined, present
+
     # -- finalize ------------------------------------------------------------
 
     def finalize(self, combined: np.ndarray) -> np.ndarray:
@@ -230,12 +327,44 @@ class BlockEstimator:
             values[:, i] = agg.finalize_block([combined[:, s] for s in slots])
         return values
 
+    def finalize_grid(self, combined: np.ndarray) -> np.ndarray:
+        """``(candidates, groups, aggregates)`` values, batched finalize.
+
+        Each aggregate's ``finalize_block`` is elementwise, so running it
+        over the whole ``(candidates, groups)`` plane at once performs
+        the exact per-element IEEE-754 computation :meth:`finalize` does
+        per candidate.
+        """
+        values = np.empty(
+            combined.shape[:2] + (len(self.query.aggregates),),
+            dtype=np.float64,
+        )
+        for i, (agg, slots) in enumerate(
+            zip(self.query.aggregates, self.query.component_index)
+        ):
+            values[..., i] = agg.finalize_block(
+                [combined[..., s] for s in slots]
+            )
+        return values
+
     def estimate(
         self, selection: list[WeightedChoice]
     ) -> tuple[np.ndarray, np.ndarray]:
         """Finalized aggregate values + group presence for a selection."""
         combined, present = self.combine(selection)
         return self.finalize(combined), present
+
+    def estimate_grid(
+        self, selections: list[list[WeightedChoice]]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Finalized values + presence for a whole candidate grid.
+
+        ``(values, present)`` with shapes ``(candidates, groups,
+        aggregates)`` and ``(candidates, groups)``; row ``k`` matches
+        ``self.estimate(selections[k])`` bit for bit.
+        """
+        combined, present = self.combine_grid(selections)
+        return self.finalize_grid(combined), present
 
     def truth(self) -> tuple[np.ndarray, np.ndarray]:
         """The exact answer block: every partition at weight 1 (cached)."""
@@ -286,6 +415,26 @@ class BlockEstimator:
             true_values, true_present, est_values, est_present
         )
 
+    def score_grid(
+        self,
+        selections: list[list[WeightedChoice]],
+        truth: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> list:
+        """Per-candidate ``ErrorReport`` list for a whole grid.
+
+        The fused twin of calling :meth:`score` once per candidate —
+        one combine contraction, one batched finalize, and one batched
+        metrics pass over the grid, with report ``k`` bit-identical to
+        ``self.score(selections[k], truth)``.
+        """
+        from repro.core.metrics import evaluate_errors_grid
+
+        true_values, true_present = truth if truth is not None else self.truth()
+        est_values, est_present = self.estimate_grid(selections)
+        return evaluate_errors_grid(
+            true_values, true_present, est_values, est_present
+        )
+
 
 def selection_scorer(query: Query, answers, path: str = "auto"):
     """``selection -> ErrorReport`` against the hoisted exact answer.
@@ -323,3 +472,40 @@ def selection_scorer(query: Query, answers, path: str = "auto"):
         return evaluate_errors(truth, estimate(query, answers, selection))
 
     return dict_score
+
+
+def selection_grid_scorer(query: Query, answers, path: str = "auto"):
+    """``[selection, ...] -> [ErrorReport, ...]`` against the hoisted truth.
+
+    The batched twin of :func:`selection_scorer` for sweep loops that
+    score a whole candidate grid per query: the block path fuses the
+    grid into one combine/finalize/metrics pass
+    (:meth:`BlockEstimator.score_grid`), while the dict reference path
+    scores each candidate through the per-candidate walk. Report ``k``
+    is bit-identical to ``selection_scorer(...)(selections[k])`` on
+    either path.
+    """
+    if path not in ("auto", "block", "dict"):
+        raise ConfigError(
+            f"unknown estimation path {path!r}; choose auto, block, or dict"
+        )
+    if path != "dict":
+        estimator = BlockEstimator.from_lazy(answers)
+        if estimator is None and path == "block":
+            estimator = BlockEstimator.from_answers(query, answers)
+        if estimator is not None:
+            return estimator.score_grid
+
+    from repro.core.metrics import evaluate_errors
+
+    truth = estimate(
+        query, answers, [WeightedChoice(p, 1.0) for p in range(len(answers))]
+    )
+
+    def dict_score_grid(selections: list[list[WeightedChoice]]):
+        return [
+            evaluate_errors(truth, estimate(query, answers, selection))
+            for selection in selections
+        ]
+
+    return dict_score_grid

@@ -570,7 +570,18 @@ class ColumnarSketchIndex:
     def from_array_state(
         cls, state: dict[str, dict[str, np.ndarray]], num_partitions: int
     ) -> ColumnarSketchIndex:
-        """Rebuild an index from persisted :meth:`array_state` arrays."""
+        """Rebuild an index from persisted :meth:`array_state` arrays.
+
+        The arrays are adopted as-is — including *read-only* views over
+        a memory-mapped bundle (``load_statistics_bundle(mmap=True)``).
+        That is safe because nothing in the index mutates its arrays in
+        place: queries only read, and :meth:`extend` goes through
+        :meth:`ColumnIndex.concat`, which always allocates fresh stacked
+        arrays (copy-on-append). Keep it that way — an in-place write
+        would raise ``ValueError: assignment destination is read-only``
+        on mmap-backed indexes (pinned by the append-after-cold-load
+        regression test).
+        """
         columns = {
             name: ColumnIndex.from_array_state(name, column_state)
             for name, column_state in state.items()
@@ -581,8 +592,9 @@ class ColumnarSketchIndex:
         """Absorb partitions appended to ``dataset`` since the last build.
 
         Only the new partitions' sketches are visited — the existing
-        arrays are padded/stacked, not recomputed. Returns the number of
-        partitions added.
+        arrays are padded/stacked into *new* arrays, not recomputed or
+        written in place (which keeps appends working on read-only
+        mmap-backed indexes). Returns the number of partitions added.
         """
         added = dataset.num_partitions - self.num_partitions
         if added <= 0:

@@ -337,15 +337,24 @@ class PlanCache:
         self._plans.clear()
 
     def get(self, predicate: Predicate | None):
-        """The compiled plan for ``predicate``, compiling on first sight."""
+        """The compiled plan for ``predicate``, compiling on first sight.
+
+        Eviction is LRU over the insertion-ordered dict: a hit moves the
+        predicate to the back, and a compile at capacity pops the front
+        (the least recently used entry). The ``limit + 1``-th distinct
+        predicate therefore costs exactly one eviction — a long-running
+        process keeps its hot set instead of periodically dropping the
+        whole cache and recompiling everything.
+        """
         plan = self._plans.get(predicate)
         if plan is not None:
             self.hits += 1
+            self._plans[predicate] = self._plans.pop(predicate)
             return plan
         self.misses += 1
         plan = self._compiler(predicate)
         if len(self._plans) >= self.limit:
-            self._plans.clear()
+            del self._plans[next(iter(self._plans))]
         self._plans[predicate] = plan
         return plan
 

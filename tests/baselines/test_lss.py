@@ -91,6 +91,50 @@ class TestLSSSampler:
         assert all(isinstance(c, WeightedChoice) for c in selection)
 
 
+class TestTinyTableClamp:
+    """Regression: when every ``stratum_grid`` size exceeds the table's
+    partition count, the sweep used to record an out-of-range
+    ``stratum_grid[0]`` in ``strata_by_budget``; it must clamp to
+    ``num_partitions``."""
+
+    def test_all_grid_sizes_too_large_clamps_to_num_partitions(
+        self, trained_ps3
+    ):
+        num_partitions = trained_ps3.ptable.num_partitions
+        sampler = LSSSampler(
+            trained_ps3.feature_builder,
+            seed=3,
+            stratum_grid=(num_partitions + 16, num_partitions + 64),
+        )
+        sampler.fit(
+            trained_ps3.training_data,
+            budget_fractions=(0.25, 0.5),
+            sweep_queries=3,
+        )
+        assert set(sampler.strata_by_budget) == {0.25, 0.5}
+        assert all(
+            size == num_partitions
+            for size in sampler.strata_by_budget.values()
+        )
+        # The clamped size must actually be usable at query time.
+        selection = sampler.select(trained_ps3.training_data.queries[0], 3)
+        assert 0 < len(selection) <= 3
+
+    def test_partially_valid_grid_still_sweeps_valid_sizes(self, trained_ps3):
+        num_partitions = trained_ps3.ptable.num_partitions
+        sampler = LSSSampler(
+            trained_ps3.feature_builder,
+            seed=3,
+            stratum_grid=(4, num_partitions + 64),
+        )
+        sampler.fit(
+            trained_ps3.training_data,
+            budget_fractions=(0.25,),
+            sweep_queries=3,
+        )
+        assert sampler.strata_by_budget == {0.25: 4}
+
+
 class TestSweepEstimationPaths:
     """E2e guard: the block-path sweep must be indistinguishable from
     the dict reference path — same rng draws, same reports, and

@@ -93,19 +93,26 @@ def test_perf_bench_main_path(path, tmp_path, monkeypatch):
     assert persisted["benchmark"] == bench_name
     assert (tmp_path / f"{bench_name}.txt").exists()
     if bench_name == "perf_estimation_plane":
-        # The estimation-plane bench's speedup claim is conditional on
-        # block/dict parity; the flag must be present and true, and the
-        # timing columns must survive schema drift.
+        # The estimation-plane bench's speedup claims are conditional on
+        # block/dict/grid parity; the flag must be present and true, and
+        # the timing columns (including the fused candidate grid's) must
+        # survive schema drift.
         for row in persisted["results"]:
             assert row["bit_identical"] is True
             assert row["dict_ms"] > 0.0 and row["block_ms"] > 0.0
+            assert row["grid_ms"] > 0.0
+            assert row["grid_speedup"] > 0.0
             assert row["candidates"] > 0
     if bench_name == "perf_sketch_plane":
-        # Build and cold-start claims are both parity-gated; the flag and
-        # both timing pairs must survive schema drift.
+        # Build and cold-start claims are all parity-gated; the flag,
+        # the three cold-start timings, and the bytes-touched/RSS
+        # footprint columns must survive schema drift.
         for row in persisted["results"]:
             assert row["bit_identical"] is True
             assert row["scalar_build_ms"] > 0.0
             assert row["vectorized_build_ms"] > 0.0
             assert row["cold_export_ms"] > 0.0 and row["cold_index_ms"] > 0.0
-            assert row["cold_speedup"] > 0.0
+            assert row["cold_mmap_ms"] > 0.0
+            assert row["cold_speedup"] > 0.0 and row["mmap_speedup"] > 0.0
+            assert 0.0 < row["touched_mmap_kb"] < row["file_kb"]
+            assert "rss_full_kb" in row and "rss_mmap_kb" in row

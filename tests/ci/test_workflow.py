@@ -69,11 +69,12 @@ def test_lint_gate_checks_and_formats(jobs):
     check = steps["ruff check"]
     assert check["run"] == "ruff check ."
     assert "continue-on-error" not in check  # the lint gate blocks
-    fmt = steps["ruff format (advisory)"]
+    fmt = steps["ruff format"]
     assert fmt["run"] == "ruff format --check ."
-    # Advisory until the tree is mechanically formatted (see workflow
-    # comment); flipping it to blocking should be a deliberate edit here.
-    assert fmt["continue-on-error"] is True
+    # Both lint steps block. The format step spent its first release
+    # advisory; reintroducing continue-on-error (silently un-gating
+    # formatting) should be a deliberate edit here, not a drive-by.
+    assert "continue-on-error" not in fmt
 
 
 def test_bench_rot_guard_runs_smoke_module_explicitly(jobs):

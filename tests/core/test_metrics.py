@@ -12,6 +12,7 @@ from repro.core.metrics import (
     ErrorReport,
     evaluate_errors,
     evaluate_errors_block,
+    evaluate_errors_grid,
     mean_report,
 )
 
@@ -133,6 +134,62 @@ class TestEmptyTruth:
             values, true_present, values, np.zeros(2, dtype=bool)
         )
         assert report == ErrorReport(0.0, 0.0, 0.0)
+
+
+class TestEvaluateErrorsGrid:
+    """The batched twin must report exactly what per-candidate
+    ``evaluate_errors_block`` reports, row for row."""
+
+    def _random_grid(self, seed, candidates=7, groups=5, aggs=3):
+        rng = np.random.default_rng(seed)
+        true_values = rng.normal(0.0, 50.0, (groups, aggs))
+        true_values[rng.random((groups, aggs)) < 0.2] = 0.0
+        true_present = rng.random(groups) < 0.8
+        est_values = rng.normal(0.0, 50.0, (candidates, groups, aggs))
+        est_values[rng.random((candidates, groups, aggs)) < 0.2] = 0.0
+        est_present = rng.random((candidates, groups)) < 0.7
+        return true_values, true_present, est_values, est_present
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rows_identical_to_block_twin(self, seed):
+        true_values, true_present, est_values, est_present = self._random_grid(
+            seed
+        )
+        reports = evaluate_errors_grid(
+            true_values, true_present, est_values, est_present
+        )
+        assert len(reports) == est_values.shape[0]
+        for k, report in enumerate(reports):
+            assert report == evaluate_errors_block(
+                true_values, true_present, est_values[k], est_present[k]
+            ), k
+
+    def test_empty_truth_mixes_exact_and_spurious_rows(self):
+        true_values = np.zeros((2, 1))
+        true_present = np.zeros(2, dtype=bool)
+        est_values = np.zeros((3, 2, 1))
+        est_present = np.array(
+            [[False, False], [True, False], [False, True]]
+        )
+        reports = evaluate_errors_grid(
+            true_values, true_present, est_values, est_present
+        )
+        assert reports == [
+            ErrorReport(0.0, 0.0, 0.0),
+            ErrorReport(0.0, 1.0, 0.0),
+            ErrorReport(0.0, 1.0, 0.0),
+        ]
+
+    def test_empty_candidate_grid(self):
+        true_values = np.ones((2, 1))
+        true_present = np.ones(2, dtype=bool)
+        reports = evaluate_errors_grid(
+            true_values,
+            true_present,
+            np.zeros((0, 2, 1)),
+            np.zeros((0, 2), dtype=bool),
+        )
+        assert reports == []
 
 
 class TestEdgesAndAggregation:

@@ -14,7 +14,11 @@ import pytest
 
 from repro.core.metrics import evaluate_errors
 from repro.engine.aggregates import avg_of, count_star, sum_of
-from repro.engine.block_estimator import BlockEstimator, selection_scorer
+from repro.engine.block_estimator import (
+    BlockEstimator,
+    selection_grid_scorer,
+    selection_scorer,
+)
 from repro.engine.combiner import (
     WeightedChoice,
     combine_answers,
@@ -243,6 +247,77 @@ class TestSelectionScorer:
     def test_unknown_path_rejected(self, matrix):
         with pytest.raises(ConfigError):
             selection_scorer(QUERIES[0], matrix.answers(0), "matmul")
+
+
+class TestGridParity:
+    """The fused grid path must replay the per-candidate path bit for
+    bit: same combined totals, finalized values, and reports."""
+
+    @pytest.mark.parametrize("qi", range(len(QUERIES)))
+    def test_combine_grid_rows_bitwise(self, matrix, qi):
+        estimator = BlockEstimator.from_matrix(matrix, qi)
+        grid = selections(matrix.num_partitions, seed=300 + qi)
+        combined, present = estimator.combine_grid(grid)
+        assert combined.shape[0] == len(grid)
+        for k, selection in enumerate(grid):
+            ref_combined, ref_present = estimator.combine(selection)
+            assert np.array_equal(present[k], ref_present), k
+            assert np.array_equal(combined[k], ref_combined), k
+
+    @pytest.mark.parametrize("qi", range(len(QUERIES)))
+    def test_estimate_grid_rows_bitwise(self, matrix, qi):
+        estimator = BlockEstimator.from_matrix(matrix, qi)
+        grid = selections(matrix.num_partitions, seed=400 + qi)
+        values, present = estimator.estimate_grid(grid)
+        for k, selection in enumerate(grid):
+            ref_values, ref_present = estimator.estimate(selection)
+            assert np.array_equal(present[k], ref_present), k
+            assert np.array_equal(values[k], ref_values), k
+
+    @pytest.mark.parametrize("qi", range(len(QUERIES)))
+    def test_score_grid_reports_identical(self, matrix, qi):
+        estimator = BlockEstimator.from_matrix(matrix, qi)
+        grid = selections(matrix.num_partitions, seed=500 + qi)
+        assert estimator.score_grid(grid) == [
+            estimator.score(selection) for selection in grid
+        ]
+
+    def test_score_grid_against_subset_truth(self, matrix):
+        estimator = BlockEstimator.from_matrix(matrix, 0)
+        truth = estimator.estimate([WeightedChoice(p, 1.0) for p in range(6)])
+        grid = selections(matrix.num_partitions, seed=600)
+        assert estimator.score_grid(grid, truth=truth) == [
+            estimator.score(selection, truth=truth) for selection in grid
+        ]
+
+    def test_empty_grid(self, matrix):
+        estimator = BlockEstimator.from_matrix(matrix, 0)
+        assert estimator.score_grid([]) == []
+        values, present = estimator.estimate_grid([])
+        assert values.shape[0] == 0 and present.shape[0] == 0
+
+
+class TestSelectionGridScorer:
+    def test_all_paths_match_per_candidate_scorer(self, matrix):
+        answers = matrix.answers(0)
+        grid = selections(matrix.num_partitions, seed=9)
+        for path in ("auto", "block", "dict"):
+            single = selection_scorer(QUERIES[0], answers, path)
+            reports = selection_grid_scorer(QUERIES[0], answers, path)(grid)
+            assert reports == [single(s) for s in grid], path
+
+    def test_dict_answers_fall_back_to_dict_path(self, matrix):
+        answers = list(matrix.answers(0))
+        grid = selections(matrix.num_partitions, seed=10)
+        fallback = selection_grid_scorer(QUERIES[0], answers, "auto")(grid)
+        block = selection_grid_scorer(
+            QUERIES[0], matrix.answers(0), "block"
+        )(grid)
+        assert fallback == block
+
+    def test_unknown_path_rejected(self, matrix):
+        with pytest.raises(ConfigError):
+            selection_grid_scorer(QUERIES[0], matrix.answers(0), "matmul")
 
 
 class TestFinalizeBlock:

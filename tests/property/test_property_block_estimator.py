@@ -17,7 +17,11 @@ from hypothesis import strategies as st
 
 from repro.core.metrics import evaluate_errors
 from repro.engine.aggregates import avg_of, count_star, sum_of
-from repro.engine.block_estimator import BlockEstimator, selection_scorer
+from repro.engine.block_estimator import (
+    BlockEstimator,
+    selection_grid_scorer,
+    selection_scorer,
+)
 from repro.engine.combiner import WeightedChoice, estimate
 from repro.engine.expressions import col
 from repro.engine.layout import partition_evenly
@@ -190,3 +194,44 @@ class TestBlockDictParity:
         from_block = BlockEstimator.from_matrix(matrix, 0)
         from_dicts = BlockEstimator.from_answers(query, list(matrix.answers(0)))
         assert from_dicts.score(selection) == from_block.score(selection)
+
+
+@st.composite
+def grid_cases(draw):
+    """A table, a query, and a whole grid of candidate selections."""
+    table = draw(tables())
+    num_partitions = min(draw(st.integers(1, 8)), table.num_rows)
+    ptable = partition_evenly(table, num_partitions)
+    query = draw(queries())
+    grid = draw(st.lists(selections(num_partitions), min_size=0, max_size=6))
+    return ptable, query, grid
+
+
+@pytest.mark.slow
+class TestGridParity:
+    """The fused candidate grid vs candidate-at-a-time, bit for bit."""
+
+    @given(grid_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_estimate_grid_rows_bitwise(self, case):
+        ptable, query, grid = case
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix([query])
+        estimator = BlockEstimator.from_matrix(matrix, 0)
+        values, present = estimator.estimate_grid(grid)
+        for k, selection in enumerate(grid):
+            ref_values, ref_present = estimator.estimate(selection)
+            assert np.array_equal(present[k], ref_present), k
+            assert np.array_equal(values[k], ref_values), k
+
+    @given(grid_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_score_grid_identical_reports_on_every_path(self, case):
+        ptable, query, grid = case
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix([query])
+        answers = matrix.answers(0)
+        per_candidate = [
+            selection_scorer(query, answers, "block")(s) for s in grid
+        ]
+        for path in ("auto", "block", "dict"):
+            reports = selection_grid_scorer(query, answers, path)(grid)
+            assert reports == per_candidate, path

@@ -66,14 +66,6 @@ class TestPlanCacheSharing:
             scalar = builder.features_for_query(query, vectorized=False)
             np.testing.assert_array_equal(features.matrix, scalar.matrix)
 
-    def test_cache_eviction_resets_but_keeps_counting(self):
-        cache = PlanCache(limit=2)
-        predicates = [Comparison("x", ">", float(i)) for i in range(4)]
-        for predicate in predicates:
-            cache.get(predicate)
-        assert cache.misses == 4
-        assert len(cache) <= 2
-
     def test_no_predicate_is_cacheable(self, tiny_stats):
         cache = PlanCache()
         builder = FeatureBuilder(tiny_stats, (), plan_cache=cache)
@@ -81,6 +73,57 @@ class TestPlanCacheSharing:
         builder.features_for_query(query)
         builder.features_for_query(query)
         assert cache.misses == 1 and cache.hits == 1
+
+
+class TestLRUEviction:
+    """Crossing ``limit`` evicts exactly the least recently used plan —
+    not the whole cache (the regression: the 257th distinct predicate
+    used to clear everything and collapse the hit rate)."""
+
+    PREDICATES = [Comparison("x", ">", float(i)) for i in range(8)]
+
+    def test_overflow_evicts_one_entry_not_all(self):
+        cache = PlanCache(limit=2)
+        a, b, c = self.PREDICATES[:3]
+        cache.get(a)
+        cache.get(b)
+        cache.get(c)  # at capacity: evicts a (oldest), keeps b
+        assert len(cache) == 2
+        assert cache.misses == 3 and cache.hits == 0
+        cache.get(b)
+        cache.get(c)
+        assert cache.hits == 2 and cache.misses == 3
+
+    def test_hit_refreshes_recency(self):
+        cache = PlanCache(limit=2)
+        a, b, c = self.PREDICATES[:3]
+        cache.get(a)
+        cache.get(b)
+        cache.get(a)  # a is now most recent
+        cache.get(c)  # evicts b, not a
+        assert cache.hits == 1
+        cache.get(a)
+        assert cache.hits == 2  # a survived the eviction
+        cache.get(b)  # b was the one evicted
+        assert cache.misses == 4
+
+    def test_long_scan_keeps_hot_entry_alive(self):
+        """A hot predicate interleaved with a stream of distinct cold
+        ones stays cached across many limit crossings."""
+        cache = PlanCache(limit=3)
+        hot = self.PREDICATES[0]
+        cache.get(hot)
+        for cold in self.PREDICATES[1:]:
+            cache.get(cold)
+            cache.get(hot)
+        assert cache.hits == len(self.PREDICATES) - 1
+        assert cache.misses == len(self.PREDICATES)
+        assert len(cache) == 3
+
+    def test_compiled_plan_identity_preserved_on_hit(self):
+        cache = PlanCache(limit=2)
+        plan = cache.get(self.PREDICATES[0])
+        assert cache.get(self.PREDICATES[0]) is plan
 
 
 class TestPersistedKeys:

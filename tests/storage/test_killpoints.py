@@ -26,6 +26,7 @@ from repro.errors import (
 from repro.sketches.columnar import ColumnarSketchIndex
 from repro.storage import (
     StatisticsStore,
+    load_statistics_bundle,
     recover_statistics_bundle,
     replay_batch_into_statistics,
     save_statistics,
@@ -78,6 +79,40 @@ class TestSaveStatisticsSweep:
             assert bundle.statistics.num_partitions == tiny_stats.num_partitions
 
         # write, fsync, (unlink+link+replace for .bak), replace, fsync_dir
+        assert sweep_kill_points(action, check) >= 5
+
+    def test_every_crash_point_leaves_a_mappable_bundle(
+        self, tiny_stats, tmp_path
+    ):
+        """The mmap cold start must survive the same crash sweep: every
+        kill point leaves a file whose manifest verifies and whose lazy
+        sections decode clean on first touch."""
+        path = tmp_path / "stats.ps3stats"
+        index = ColumnarSketchIndex.build(tiny_stats)
+        save_statistics(
+            tiny_stats, path, index=index, plan_cache_keys=("old-gen",)
+        )
+        old = path.read_bytes()
+        save_statistics(
+            tiny_stats,
+            tmp_path / "ref.ps3stats",
+            index=index,
+            plan_cache_keys=("new-gen",),
+        )
+        new = (tmp_path / "ref.ps3stats").read_bytes()
+
+        def action(io):
+            save_statistics(
+                tiny_stats, path, index=index, plan_cache_keys=("new-gen",), io=io
+            )
+
+        def check(io):
+            assert path.read_bytes() in (old, new)
+            bundle = load_statistics_bundle(path, mmap=True)
+            # Force both lazy sections — their deferred CRCs must hold.
+            assert bundle.index is not None
+            assert bundle.statistics.num_partitions == tiny_stats.num_partitions
+
         assert sweep_kill_points(action, check) >= 5
 
     def test_backup_generation_survives_the_overwrite(self, tiny_stats, tmp_path):
@@ -254,6 +289,65 @@ class TestFlippedBytes:
         raw, reference = saved
         for offset in range(0, len(raw), 13):
             _assert_flip_detected(raw, offset, reference, tmp_path)
+
+
+def _assert_flip_detected_mmap(raw: bytes, offset: int, reference: bytes, tmp_path):
+    """The mmap twin of :func:`_assert_flip_detected`.
+
+    The lazy load moves detection to first touch, so the probe forces
+    both sections (``index`` then ``statistics``) and accepts the raise
+    or the degrade at *either* moment — never a silent load."""
+    flipped = bytearray(raw)
+    flipped[offset] ^= 0x40
+    bad = tmp_path / "flipped.ps3stats"
+    bad.write_bytes(bytes(flipped))
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bundle = load_statistics_bundle(bad, mmap=True)
+            index = bundle.index
+            stats = bundle.statistics
+    except CorruptBundleError:
+        return  # detected at load or at first touch
+    degraded = [
+        w for w in caught if isinstance(w.message, DegradedLoadWarning)
+    ]
+    assert degraded, f"byte {offset}: flip mmap-loaded silently"
+    assert index is None
+    assert (
+        _serialize(stats, tmp_path / "got.ref") == reference
+    ), f"byte {offset}: degraded mmap load changed the statistics"
+
+
+class TestMmapFlippedBytes:
+    """The flip sweep again, through the lazy mmap load path."""
+
+    @pytest.fixture()
+    def saved(self, tiny_stats, tmp_path_factory):
+        path = tmp_path_factory.mktemp("mmapflip") / "stats.ps3stats"
+        save_statistics(
+            tiny_stats,
+            path,
+            index=ColumnarSketchIndex.build(tiny_stats),
+            plan_cache_keys=("k-1",),
+        )
+        reference = _serialize(
+            tiny_stats, path.with_name("reference.ps3stats")
+        )
+        return path.read_bytes(), reference
+
+    def test_sampled_offsets(self, saved, tmp_path):
+        raw, reference = saved
+        offsets = list(range(12)) + list(range(len(raw) - 8, len(raw)))
+        offsets += list(range(12, len(raw) - 8, 997))
+        for offset in offsets:
+            _assert_flip_detected_mmap(raw, offset, reference, tmp_path)
+
+    @pytest.mark.slow
+    def test_exhaustive_offsets(self, saved, tmp_path):
+        raw, reference = saved
+        for offset in range(0, len(raw), 13):
+            _assert_flip_detected_mmap(raw, offset, reference, tmp_path)
 
 
 class TestBakFallback:
