@@ -1,0 +1,230 @@
+"""Serving throughput: micro-batched front end vs one-at-a-time queries.
+
+Times a closed-loop, zipf-skewed serving workload — C client threads,
+each blocking on its answer before issuing the next request, drawing
+from a small pool of hot-and-cold query templates — through two planes:
+
+- **sequential**: every request answered by ``PS3.query`` (one pick, one
+  subset gather, one fused pass per request);
+- **serving**: requests submitted to the :class:`ServingFrontEnd`, which
+  admits them into micro-batches and answers each batch with *one*
+  ``WorkloadExecutor`` sweep over the union of the batch's selections —
+  duplicate queries alias one answer block, distinct queries sharing a
+  predicate or group-by share masks and factorizations.
+
+Both planes run the same request streams and the same trained picker, so
+the measured difference is purely the batching: the zipf skew is what a
+dashboard fan-out or a popular-filter serving mix looks like, and it is
+exactly the shape group commit exploits. Per-request latencies are
+recorded in serving mode (p50/p95/p99) alongside both planes'
+throughput. Emits a text table plus ``BENCH_perf_serving.json`` under
+``benchmarks/results/``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_serving.py
+
+or via pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_serving.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.api import PS3
+from repro.bench.reporting import emit, format_table, results_dir
+from repro.datasets.registry import get_dataset
+from repro.engine.serving import ServingConfig
+from repro.workload import QueryGenerator
+
+PARTITION_COUNTS = (64, 256)
+ROWS_PER_PARTITION = 200
+REPEATS = 3
+
+#: Closed-loop client counts; the acceptance bar applies from 8 up.
+CONCURRENCY_LEVELS = (2, 8, 16)
+REQUESTS_PER_CLIENT = 8
+#: Query-pool skew: rank r drawn with probability ∝ 1/r^ZIPF_S.
+ZIPF_S = 2.0
+POOL_SIZE = 8
+BUDGET_FRACTION = 0.3
+
+SERVING_CONFIG = ServingConfig(max_batch_size=32, max_hold_seconds=0.002)
+
+
+def _build_system(num_partitions: int):
+    spec = get_dataset("kdd")
+    ptable = spec.build(num_partitions * ROWS_PER_PARTITION, num_partitions, seed=7)
+    workload = spec.workload()
+    generator = QueryGenerator(workload, ptable.table, seed=19)
+    train, pool = generator.train_test_split(12, POOL_SIZE)
+    return PS3(ptable, workload).fit(train), pool
+
+
+def _request_streams(pool, concurrency: int, seed: int) -> list[list]:
+    """One zipf-skewed query stream per client (deterministic)."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+    probabilities = ranks**-ZIPF_S
+    probabilities /= probabilities.sum()
+    return [
+        [
+            pool[int(i)]
+            for i in rng.choice(
+                len(pool), size=REQUESTS_PER_CLIENT, p=probabilities
+            )
+        ]
+        for __ in range(concurrency)
+    ]
+
+
+def _time_sequential(system, streams) -> float:
+    """Seconds to answer every request one at a time, in client order."""
+    started = time.perf_counter()
+    for stream in streams:
+        for query in stream:
+            system.query(query, budget_fraction=BUDGET_FRACTION)
+    return time.perf_counter() - started
+
+
+def _time_serving(system, streams):
+    """Closed-loop wall seconds + per-request latencies + stats."""
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(streams) + 1)
+
+    front = system.serve(SERVING_CONFIG)
+
+    def client(stream) -> None:
+        local: list[float] = []
+        barrier.wait()
+        try:
+            for query in stream:
+                started = time.perf_counter()
+                front.query(query, budget_fraction=BUDGET_FRACTION)
+                local.append(time.perf_counter() - started)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+        with lock:
+            latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=client, args=(stream,)) for stream in streams
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    front.stop()
+    if errors:
+        raise errors[0]
+    return wall, latencies, front.stats
+
+
+def run() -> dict:
+    rows = []
+    for num_partitions in PARTITION_COUNTS:
+        system, pool = _build_system(num_partitions)
+        for concurrency in CONCURRENCY_LEVELS:
+            streams = _request_streams(pool, concurrency, seed=concurrency)
+            num_requests = concurrency * REQUESTS_PER_CLIENT
+            # Warm both planes (fused view, plan caches, allocator).
+            _time_serving(system, streams[:1])
+            _time_sequential(system, streams[:1])
+            best_seq = min(
+                _time_sequential(system, streams) for __ in range(REPEATS)
+            )
+            best_serve, best_latencies, stats = min(
+                (_time_serving(system, streams) for __ in range(REPEATS)),
+                key=lambda result: result[0],
+            )
+            latencies_ms = np.sort(np.asarray(best_latencies)) * 1e3
+            rows.append(
+                {
+                    "partitions": num_partitions,
+                    "concurrency": concurrency,
+                    "requests": num_requests,
+                    "sequential_s": best_seq,
+                    "serving_s": best_serve,
+                    "sequential_qps": num_requests / best_seq,
+                    "serving_qps": num_requests / best_serve,
+                    "p50_ms": float(np.percentile(latencies_ms, 50)),
+                    "p95_ms": float(np.percentile(latencies_ms, 95)),
+                    "p99_ms": float(np.percentile(latencies_ms, 99)),
+                    "mean_batch": stats.mean_batch_size,
+                    "pick_dedup_hits": stats.pick_dedup_hits,
+                    "speedup": best_seq / best_serve,
+                }
+            )
+    report = {
+        "benchmark": "perf_serving",
+        "rows_per_partition": ROWS_PER_PARTITION,
+        "repeats": REPEATS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "zipf_s": ZIPF_S,
+        "pool_size": POOL_SIZE,
+        "budget_fraction": BUDGET_FRACTION,
+        "timed_step": "closed-loop clients: serving front end vs PS3.query",
+        "results": rows,
+    }
+    (results_dir() / "BENCH_perf_serving.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    emit(
+        "perf_serving",
+        format_table(
+            [
+                "partitions",
+                "clients",
+                "seq qps",
+                "serve qps",
+                "p50 (ms)",
+                "p95 (ms)",
+                "p99 (ms)",
+                "batch",
+                "speedup",
+            ],
+            [
+                [
+                    r["partitions"],
+                    r["concurrency"],
+                    r["sequential_qps"],
+                    r["serving_qps"],
+                    r["p50_ms"],
+                    r["p95_ms"],
+                    r["p99_ms"],
+                    f"{r['mean_batch']:.1f}",
+                    f"{r['speedup']:.1f}x",
+                ]
+                for r in rows
+            ],
+            title=f"Closed-loop serving, zipf({ZIPF_S}) over {POOL_SIZE} "
+            f"templates (best of {REPEATS})",
+        ),
+    )
+    return report
+
+
+def test_perf_serving():
+    report = run()
+    for row in report["results"]:
+        assert row["speedup"] > 0.0, row
+        assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], row
+        # The acceptance bar: batching wins >= 2x once there are enough
+        # concurrent clients to fill real batches.
+        if row["concurrency"] >= 8:
+            assert row["speedup"] >= 2.0, row
+
+
+if __name__ == "__main__":
+    run()

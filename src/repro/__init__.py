@@ -27,6 +27,7 @@ from repro.api import PS3, ApproximateAnswer
 from repro.core.metrics import ErrorReport
 from repro.core.picker import PickerConfig
 from repro.core.training import TrainingConfig
+from repro.engine.serving import ServingConfig, ServingFrontEnd
 
 __version__ = "1.0.0"
 
@@ -35,6 +36,8 @@ __all__ = [
     "ApproximateAnswer",
     "ErrorReport",
     "PickerConfig",
+    "ServingConfig",
+    "ServingFrontEnd",
     "TrainingConfig",
     "__version__",
 ]

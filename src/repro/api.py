@@ -17,6 +17,7 @@ per-group estimates plus the weighted selection and error diagnostics.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.core.feature_selection import (
@@ -32,13 +33,23 @@ from repro.core.training import (
     train_picker_model,
 )
 from repro.engine.batch_executor import BatchExecutor, fused_view
-from repro.engine.combiner import FinalAnswer, estimate, finalize_answer
+from repro.engine.combiner import (
+    FinalAnswer,
+    WeightedChoice,
+    estimate,
+    finalize_answer,
+)
 from repro.engine.executor import (
     compute_partition_answers,
     execute_on_partition,
     true_answer,
 )
 from repro.engine.query import Query
+from repro.engine.serving import (
+    ServingConfig,
+    ServingFrontEnd,
+    answer_selections,
+)
 from repro.engine.table import PartitionedTable
 from repro.errors import ConfigError, NotFittedError
 from repro.sketches.builder import SketchConfig, build_dataset_statistics
@@ -107,6 +118,13 @@ class PS3:
         self.training_data: TrainingData | None = None
         self._picker: PS3Picker | None = None
         self._store = None  # StatisticsStore, bound via attach_store
+        # Serializes mutations of the shared serving state (table,
+        # statistics, picker, feature builder) against picks. Picks and
+        # appends hold it; execution runs on a table snapshot outside it
+        # (appends build a new table object, so a snapshot's fused view
+        # is never torn by a concurrent append). Reentrant so locked
+        # callers can use the public query path.
+        self._state_lock = threading.RLock()
 
     # -- durability -------------------------------------------------------------
 
@@ -208,35 +226,72 @@ class PS3:
         Execution touches only the selected partitions (the online I/O
         saving) but runs them as one fused batch pass; ``batched=False``
         falls back to the per-partition scalar oracle (same bits).
+
+        Thread-safe: the pick runs under the state lock (the picker's
+        rng and caches are shared), execution on a table snapshot — so
+        concurrent ``query``/``append`` calls each see one consistent
+        table generation, never a torn view.
         """
-        budget = self._resolve_budget(budget_partitions, budget_fraction)
-        selection = self.picker.select(query, budget)
-        # Execute only on the selected partitions (the online I/O saving).
-        if batched:
-            answers = BatchExecutor.for_table(self.ptable).partition_answers(
-                query, partitions=[c.partition for c in selection.selection]
-            )
-        else:
-            answers = [
-                execute_on_partition(self.ptable[c.partition], query)
-                for c in selection.selection
-            ]
-        combined: dict = {}
-        for choice, answer in zip(selection.selection, answers):
-            for key, vec in answer.items():
-                acc = combined.get(key)
-                if acc is None:
-                    combined[key] = choice.weight * vec
-                else:
-                    acc += choice.weight * vec
-        groups = finalize_answer(query, combined)
+        with self._state_lock:
+            budget = self._resolve_budget(budget_partitions, budget_fraction)
+            ptable = self.ptable
+            selection = self.picker.select(query, budget)
+        groups = _selection_groups(ptable, query, selection.selection, batched)
         return ApproximateAnswer(
             query=query,
             groups=groups,
             selection=selection,
             budget=budget,
-            num_partitions=self.ptable.num_partitions,
+            num_partitions=ptable.num_partitions,
         )
+
+    def query_many(
+        self,
+        queries,
+        budget_partitions: int | None = None,
+        budget_fraction: float | None = None,
+    ) -> list[ApproximateAnswer]:
+        """Answer a micro-batch of queries with one fused sweep.
+
+        Partitions are picked per query, sequentially in input order
+        (exactly the selections back-to-back :meth:`query` calls would
+        make), then the whole batch executes as a single
+        ``WorkloadExecutor`` sweep over the union of selected partitions
+        — identical queries alias one answer block, shared predicates
+        and group-bys share masks/factorizations — and each query's
+        answer is combined with its own weights. Answers are
+        bit-identical to the sequential path for the same selections.
+        ``budget`` applies to each query individually.
+        """
+        queries = list(queries)
+        with self._state_lock:
+            budget = self._resolve_budget(budget_partitions, budget_fraction)
+            ptable = self.ptable
+            picked = [(q, self.picker.select(q, budget)) for q in queries]
+        finals = answer_selections(
+            ptable, [(q, sel.selection) for q, sel in picked]
+        )
+        return [
+            ApproximateAnswer(
+                query=q,
+                groups=groups,
+                selection=sel,
+                budget=budget,
+                num_partitions=ptable.num_partitions,
+            )
+            for (q, sel), groups in zip(picked, finals)
+        ]
+
+    def serve(self, config: ServingConfig | None = None) -> ServingFrontEnd:
+        """Start a micro-batch serving front end over this system.
+
+        Returns the started :class:`~repro.engine.serving
+        .ServingFrontEnd`; call its ``submit``/``query``/``submit_async``
+        from any number of client threads or asyncio tasks, and ``stop``
+        it (or use it as a context manager) when done.
+        """
+        self.picker  # noqa: B018 - fail fast with NotFittedError
+        return ServingFrontEnd(self, config).start()
 
     def execute_exact(self, query: Query) -> FinalAnswer:
         """The exact answer (full scan) for ground-truth comparison."""
@@ -260,22 +315,26 @@ class PS3:
         from repro.engine.layout import append_rows
         from repro.sketches.builder import append_partition_statistics
 
-        if self._store is not None:
-            # Write-ahead: the batch is fsynced to the journal before any
-            # in-memory state changes. A crash after this line replays
-            # the batch; a crash before it loses nothing but the call.
-            self._store.log_append(new_columns)
-        prior_view = getattr(self.ptable, "_fused_view", None)
-        self.ptable = append_rows(self.ptable, new_columns)
-        # Carry the fused executor view over incrementally: only the new
-        # partition's row ids are materialized (mirrors the sketch index).
-        fused_view(self.ptable, prior=prior_view)
-        partition = self.ptable[self.ptable.num_partitions - 1]
-        append_partition_statistics(self.statistics, partition)
-        self.feature_builder.refresh()
-        if self._picker is not None:
-            self._picker.dataset = self.statistics
-        return partition.index
+        with self._state_lock:
+            if self._store is not None:
+                # Write-ahead: the batch is fsynced to the journal before
+                # any in-memory state changes. A crash after this line
+                # replays the batch; a crash before it loses only the call.
+                self._store.log_append(new_columns)
+            prior_view = getattr(self.ptable, "_fused_view", None)
+            self.ptable = append_rows(self.ptable, new_columns)
+            # Carry the fused executor view over incrementally: only the
+            # new partition's row ids are materialized (mirrors the
+            # sketch index). Queries picked before this point keep
+            # executing on their snapshot table — append_rows builds new
+            # objects, it never mutates the old table or its view.
+            fused_view(self.ptable, prior=prior_view)
+            partition = self.ptable[self.ptable.num_partitions - 1]
+            append_partition_statistics(self.statistics, partition)
+            self.feature_builder.refresh()
+            if self._picker is not None:
+                self._picker.dataset = self.statistics
+            return partition.index
 
     def staleness(self) -> StalenessReport:
         """How far the dataset has drifted since the model was trained."""
@@ -313,9 +372,55 @@ class PS3:
         return self.statistics.average_partition_size_bytes()
 
 
+def _selection_groups(
+    ptable: PartitionedTable, query: Query, choices, batched: bool
+) -> FinalAnswer:
+    """Combine a weighted selection's partition answers into one answer.
+
+    The sequential execution plane behind :meth:`PS3.query`: execute the
+    selected partitions (fused batch pass, or the per-partition scalar
+    oracle when ``batched=False`` — same bits), then the weighted
+    combine walk of paper section 2.4.
+    """
+    if batched:
+        answers = BatchExecutor.for_table(ptable).partition_answers(
+            query, partitions=[c.partition for c in choices]
+        )
+    else:
+        answers = [
+            execute_on_partition(ptable[c.partition], query) for c in choices
+        ]
+    combined: dict = {}
+    for choice, answer in zip(choices, answers):
+        for key, vec in answer.items():
+            acc = combined.get(key)
+            if acc is None:
+                combined[key] = choice.weight * vec
+            else:
+                acc += choice.weight * vec
+    return finalize_answer(query, combined)
+
+
 def answer_with_selection(
     ptable: PartitionedTable, query: Query, selection, batched: bool = True
 ) -> FinalAnswer:
-    """Weighted answer for an explicit selection (baseline evaluation)."""
-    answers = compute_partition_answers(ptable, query, batched=batched)
-    return estimate(query, answers, selection)
+    """Weighted answer for an explicit selection (baseline evaluation).
+
+    Executes only the *selected* partitions: the selection is remapped to
+    local indices over a subset gather, so evaluating a k-partition
+    selection costs O(k) partition scans, not a full-table pass. The
+    ``batched=False`` path keeps the historical full-table scalar oracle
+    (per-partition answers are independent, so the bits match either way).
+    """
+    choices = list(selection)
+    if batched:
+        answers = BatchExecutor.for_table(ptable).partition_answers(
+            query, partitions=[c.partition for c in choices]
+        )
+        local = [
+            WeightedChoice(partition=i, weight=c.weight)
+            for i, c in enumerate(choices)
+        ]
+        return estimate(query, answers, local)
+    answers = compute_partition_answers(ptable, query, batched=False)
+    return estimate(query, answers, choices)

@@ -57,6 +57,7 @@ engineered to match it *bit for bit*, not just approximately:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -70,6 +71,15 @@ from repro.engine.table import PartitionedTable
 #: allocate, as a multiple of the (filtered) row count. Beyond this the
 #: segmented reduction compacts segment ids first so memory stays O(rows).
 _DENSE_GRID_FACTOR = 8
+
+#: Guards the per-table memoizations (``ptable._fused_view``,
+#: ``ptable._batch_executor``, ``ptable._workload_executor``): the
+#: check-then-set idiom they use is racy under concurrent queries — two
+#: threads could each build an executor plus fused view for the same
+#: table and leave consumers holding different cache objects. Reentrant
+#: because ``for_table`` builds the executor (which builds the fused
+#: view) while holding it.
+TABLE_CACHE_LOCK = threading.RLock()
 
 
 def reduce_live_segments(
@@ -164,13 +174,50 @@ def fused_view(
 
     Built on first use and stored on the table object; ``prior`` (the
     previous table's view, when ``ptable`` came from ``append_rows``)
-    makes the build incremental.
+    makes the build incremental. Memoization is atomic (every caller
+    gets the same view object even under concurrent first use).
     """
-    view = getattr(ptable, "_fused_view", None)
-    if view is None or view.num_partitions != ptable.num_partitions:
-        view = FusedTableView.build(ptable, prior=prior)
-        ptable._fused_view = view
-    return view
+    with TABLE_CACHE_LOCK:
+        view = getattr(ptable, "_fused_view", None)
+        if view is None or view.num_partitions != ptable.num_partitions:
+            view = FusedTableView.build(ptable, prior=prior)
+            ptable._fused_view = view
+        return view
+
+
+def gather_partitions(
+    view: FusedTableView, partitions, column_names
+) -> FusedTableView:
+    """A sub-view holding ``partitions``' rows of ``column_names`` only.
+
+    Local partition ``i`` of the result is global partition
+    ``partitions[i]`` (duplicates allowed, any order); its rows keep
+    their fused (ingest) order, so per-partition answers computed on the
+    sub-view are bit-identical to the same partitions' answers on the
+    full view. The gather is one fancy-index per column.
+    """
+    parts = np.asarray(partitions, dtype=np.intp)
+    n = int(parts.size)
+    if n == 0:
+        return FusedTableView(
+            {name: view.columns[name][:0] for name in column_names},
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.intp),
+            0,
+        )
+    starts = view.offsets[parts]
+    sizes = view.offsets[parts + 1] - starts
+    total = int(sizes.sum())
+    # Concatenated row ranges: offset each partition's aranged rows so
+    # the gather stays a single fancy-index per column.
+    shift = np.repeat(
+        starts - np.concatenate(([0], np.cumsum(sizes[:-1]))), sizes
+    )
+    row_idx = shift + np.arange(total, dtype=np.int64)
+    columns = {name: view.columns[name][row_idx] for name in column_names}
+    part_ids = np.repeat(np.arange(n, dtype=np.intp), sizes)
+    bounds = np.concatenate(([0], np.cumsum(sizes)))
+    return FusedTableView(columns, bounds, part_ids, n)
 
 
 class BatchExecutor:
@@ -182,12 +229,18 @@ class BatchExecutor:
 
     @classmethod
     def for_table(cls, ptable: PartitionedTable) -> BatchExecutor:
-        """A process-wide executor per table (the view is the state)."""
-        executor = getattr(ptable, "_batch_executor", None)
-        if executor is None:
-            executor = cls(ptable)
-            ptable._batch_executor = executor
-        return executor
+        """A process-wide executor per table (the view is the state).
+
+        Memoization is atomic: concurrent first calls for the same table
+        all receive one executor (and one fused view) rather than racing
+        the check-then-set and building duplicates.
+        """
+        with TABLE_CACHE_LOCK:
+            executor = getattr(ptable, "_batch_executor", None)
+            if executor is None:
+                executor = cls(ptable)
+                ptable._batch_executor = executor
+            return executor
 
     # -- public API -----------------------------------------------------------
 
@@ -210,27 +263,16 @@ class BatchExecutor:
             bounds = view.offsets
             n = view.num_partitions
         else:
-            parts = np.asarray(partitions, dtype=np.intp)
-            n = int(parts.size)
-            if n == 0:
-                return []
-            starts = view.offsets[parts]
-            sizes = view.offsets[parts + 1] - starts
-            total = int(sizes.sum())
-            # Concatenated row ranges: offset each partition's aranged
-            # rows so the gather stays a single fancy-index per column.
-            shift = np.repeat(
-                starts - np.concatenate(([0], np.cumsum(sizes[:-1]))), sizes
-            )
-            row_idx = shift + np.arange(total, dtype=np.int64)
             used = query.columns() | set(query.group_by)
-            columns = {
-                name: arr[row_idx]
-                for name, arr in view.columns.items()
-                if name in used
-            }
-            part_ids = np.repeat(np.arange(n, dtype=np.intp), sizes)
-            bounds = np.concatenate(([0], np.cumsum(sizes)))
+            sub = gather_partitions(
+                view, partitions, [c for c in view.columns if c in used]
+            )
+            if sub.num_partitions == 0:
+                return []
+            columns = sub.columns
+            part_ids = sub.partition_ids
+            bounds = sub.offsets
+            n = sub.num_partitions
         return self._answers(query, columns, part_ids, bounds, n)
 
     # -- internals --------------------------------------------------------------

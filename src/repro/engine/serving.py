@@ -1,0 +1,386 @@
+"""Micro-batch serving front end: group commit for approximate analytics.
+
+``PS3.query`` answers one query at a time: one pick, one subset gather,
+one predicate mask, one combine. Offline, the
+:class:`~repro.engine.workload_executor.WorkloadExecutor` already
+answers a whole training workload in a single fused sweep — but serving
+traffic never exploited it, so concurrent queries from many clients each
+paid the full per-query execution cost. This module closes that gap with
+the database's classic group-commit move, applied to approximate
+analytics:
+
+1. **admission** — concurrently arriving queries queue up and are
+   collected into micro-batches under a configurable window
+   (:class:`ServingConfig`: ``max_batch_size`` requests or
+   ``max_hold_seconds`` after the first arrival, whichever trips first);
+2. **pick** — each request's partitions are selected sequentially in
+   admission order under the system's state lock (the picker's rng and
+   feature caches are shared mutable state), exactly as back-to-back
+   ``PS3.query`` calls would pick; with ``ServingConfig.dedup_picks``
+   (the default) batch-mates with the same query and resolved budget
+   share one selection instead of re-running the picker's model scoring;
+3. **sweep** — the batch is answered with *one*
+   :meth:`WorkloadExecutor.answer_matrix` pass over the union of all
+   selected partitions. Identical queries alias one answer block, and
+   distinct queries sharing a predicate or group-by share its mask /
+   factorization through the executor's
+   :class:`~repro.stats.plan.PlanCache` machinery — the batch costs one
+   gather plus one pass per *distinct* piece of work, not per request;
+4. **scatter** — each request's answer is combined from its own selected
+   partitions' blocks with its own picker weights
+   (:func:`answer_selections` replays the exact dict walk ``PS3.query``
+   runs), so batched answers are bit-identical to the one-at-a-time
+   path for the same selections.
+
+The front end exposes three client shapes: blocking
+(:meth:`ServingFrontEnd.query`), future-based
+(:meth:`ServingFrontEnd.submit`, for thread-pool clients), and
+asyncio-friendly (:meth:`ServingFrontEnd.submit_async`). ``PS3.serve()``
+constructs and starts one; ``PS3.query_many`` uses the same batch plane
+synchronously without threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.engine.combiner import FinalAnswer, finalize_answer
+from repro.engine.query import Query
+from repro.engine.table import PartitionedTable
+from repro.engine.workload_executor import WorkloadExecutor
+from repro.errors import ConfigError, ServingStoppedError
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Admission-batching knobs.
+
+    ``max_batch_size`` caps how many requests one sweep may serve;
+    ``max_hold_seconds`` bounds how long the first request in a batch
+    may wait for company. The window trades a little p50 latency for
+    throughput: under load the queue fills the batch before the hold
+    expires and the hold never binds; at low traffic a lone request
+    pays at most the hold. ``max_hold_seconds=0`` disables holding
+    (each batch is whatever has already queued up).
+
+    ``dedup_picks`` is the group-commit move at the *pick* layer:
+    requests in one admission batch with the same query and the same
+    resolved budget share a single picker selection (and therefore a
+    single answer block and scatter) instead of each paying the
+    pick's model-scoring cost. Every answer is still bit-identical to
+    what ``PS3.query`` returns for that selection; what changes is that
+    identical concurrent requests get the *same* sample rather than
+    independent ones. Set it to ``False`` when each client must draw an
+    independent selection (e.g. when averaging repeated requests to
+    tighten an estimate).
+    """
+
+    max_batch_size: int = 32
+    max_hold_seconds: float = 0.002
+    dedup_picks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigError("max_batch_size must be >= 1")
+        if self.max_hold_seconds < 0:
+            raise ConfigError("max_hold_seconds must be >= 0")
+
+
+@dataclass
+class ServingStats:
+    """Observable counters for one front end (monotonic, not reset)."""
+
+    queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0  # queries that shared a sweep with >= 1 other
+    largest_batch: int = 0
+    failures: int = 0
+    pick_dedup_hits: int = 0  # requests that reused a batch-mate's pick
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queries / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Request:
+    """One admitted query plus its completion future."""
+
+    query: Query
+    budget_partitions: int | None
+    budget_fraction: float | None
+    future: Future = field(default_factory=Future)
+
+
+#: Queue sentinel: the worker drains, answers what it holds, and exits.
+_SHUTDOWN = object()
+
+
+def answer_selections(
+    ptable: PartitionedTable, pairs: list[tuple[Query, list]]
+) -> list[FinalAnswer]:
+    """Answer many ``(query, weighted selection)`` pairs in one sweep.
+
+    The batch execution plane shared by :class:`ServingFrontEnd` and
+    ``PS3.query_many``: one :meth:`WorkloadExecutor.answer_matrix` pass
+    over the union of every pair's selected partitions (identical
+    queries alias one block; shared predicates/group-bys share masks and
+    factorizations), then a per-pair scatter that replays ``PS3.query``'s
+    combine walk — same visiting order, same float chains, same key
+    insertion order — so each returned :data:`FinalAnswer` is
+    bit-identical to the sequential path for the same selection.
+    """
+    union = sorted({c.partition for __, selection in pairs for c in selection})
+    local = {p: i for i, p in enumerate(union)}
+    matrix = WorkloadExecutor.for_table(ptable).answer_matrix(
+        [query for query, __ in pairs], partitions=union
+    )
+    finals: list[FinalAnswer] = []
+    for qi, (query, selection) in enumerate(pairs):
+        block = matrix.block(qi)
+        combined: dict = {}
+        for choice in selection:
+            answer = block.partition_answer(local[choice.partition])
+            for key, vec in answer.items():
+                acc = combined.get(key)
+                if acc is None:
+                    combined[key] = choice.weight * vec
+                else:
+                    acc += choice.weight * vec
+        finals.append(finalize_answer(query, combined))
+    return finals
+
+
+class ServingFrontEnd:
+    """Admission-batching query server over one fitted ``PS3`` system.
+
+    Requests may arrive from any number of threads (or asyncio tasks via
+    :meth:`submit_async`); a single worker thread forms micro-batches
+    and answers each with one fused sweep. Use as a context manager, or
+    pair :meth:`start` with :meth:`stop`::
+
+        with ServingFrontEnd(ps3) as front:
+            future = front.submit(query, budget_fraction=0.1)
+            answer = future.result()
+
+    Per-request failures (unknown columns, invalid budgets at pick time)
+    fail only that request's future; the worker and the rest of the
+    batch keep going.
+    """
+
+    def __init__(self, system, config: ServingConfig | None = None) -> None:
+        self.system = system
+        self.config = config or ServingConfig()
+        self.stats = ServingStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._worker: threading.Thread | None = None
+        self._stopping = False
+        self._lifecycle = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> ServingFrontEnd:
+        with self._lifecycle:
+            if self._worker is not None:
+                raise ConfigError("serving front end already started")
+            self._stopping = False
+            self._worker = threading.Thread(
+                target=self._run, name="ps3-serving", daemon=True
+            )
+            self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting requests, finish what was admitted, join."""
+        with self._lifecycle:
+            worker = self._worker
+            if worker is None:
+                return
+            self._stopping = True
+            self._queue.put(_SHUTDOWN)
+        worker.join()
+        with self._lifecycle:
+            self._worker = None
+        # Anything admitted after the sentinel was enqueued would strand
+        # its future; fail it loudly instead.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                item.future.set_exception(
+                    ServingStoppedError("front end stopped before answering")
+                )
+
+    def __enter__(self) -> ServingFrontEnd:
+        # ``PS3.serve()`` returns an already-started front end; entering
+        # it as a context manager must not double-start the worker.
+        with self._lifecycle:
+            running = self._worker is not None and not self._stopping
+        if not running:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(
+        self,
+        query: Query,
+        budget_partitions: int | None = None,
+        budget_fraction: float | None = None,
+    ) -> Future:
+        """Enqueue a query; returns a ``Future[ApproximateAnswer]``.
+
+        Budget-shape errors (neither or both budgets, out-of-range
+        fraction) raise immediately in the caller; the partition count
+        itself is resolved at pick time against the table the batch
+        snapshots, so appends between submit and answer are honoured.
+        """
+        if (budget_partitions is None) == (budget_fraction is None):
+            raise ConfigError(
+                "pass exactly one of budget_partitions / budget_fraction"
+            )
+        if budget_fraction is not None and not 0.0 < budget_fraction <= 1.0:
+            raise ConfigError("budget_fraction must be in (0, 1]")
+        if budget_partitions is not None and budget_partitions < 1:
+            raise ConfigError("budget_partitions must be >= 1")
+        with self._lifecycle:
+            if self._worker is None or self._stopping:
+                raise ServingStoppedError(
+                    "serving front end is not running (call start())"
+                )
+            request = _Request(query, budget_partitions, budget_fraction)
+            self._queue.put(request)
+        return request.future
+
+    def query(
+        self,
+        query: Query,
+        budget_partitions: int | None = None,
+        budget_fraction: float | None = None,
+    ):
+        """Blocking submit: the ``ApproximateAnswer`` (or the failure)."""
+        return self.submit(query, budget_partitions, budget_fraction).result()
+
+    async def submit_async(
+        self,
+        query: Query,
+        budget_partitions: int | None = None,
+        budget_fraction: float | None = None,
+    ):
+        """Awaitable submit for asyncio servers (no executor thread hop)."""
+        future = self.submit(query, budget_partitions, budget_fraction)
+        return await asyncio.wrap_future(future)
+
+    # -- worker --------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch, saw_shutdown = self._admit(item)
+            self._process(batch)
+            if saw_shutdown:
+                return
+
+    def _admit(self, first: _Request) -> tuple[list[_Request], bool]:
+        """Collect one micro-batch starting from ``first``.
+
+        Holds the window open until ``max_batch_size`` requests are in
+        or ``max_hold_seconds`` have passed since the first arrival.
+        """
+        batch = [first]
+        deadline = time.monotonic() + self.config.max_hold_seconds
+        while len(batch) < self.config.max_batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _process(self, batch: list[_Request]) -> None:
+        # Imported lazily: api sits above engine in the layering; only
+        # the answer container is needed here.
+        from repro.api import ApproximateAnswer
+
+        system = self.system
+        # Pick under the system's state lock: selections see a
+        # consistent (table, statistics, picker) generation, and the
+        # snapshot table keeps this batch's execution consistent even if
+        # an append lands mid-sweep (appends build a *new* table object;
+        # the snapshot's fused view is never mutated).
+        with system._state_lock:
+            ptable = system.ptable
+            num_partitions = ptable.num_partitions
+            picked: list[tuple[_Request, int, object]] = []
+            pick_cache: dict = {}
+            for request in batch:
+                try:
+                    budget = system._resolve_budget(
+                        request.budget_partitions, request.budget_fraction
+                    )
+                    key = (
+                        (request.query, budget)
+                        if self.config.dedup_picks
+                        else None
+                    )
+                    selection = (
+                        pick_cache.get(key) if key is not None else None
+                    )
+                    if selection is None:
+                        selection = system.picker.select(
+                            request.query, budget
+                        )
+                        if key is not None:
+                            pick_cache[key] = selection
+                    else:
+                        self.stats.pick_dedup_hits += 1
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    self.stats.failures += 1
+                    request.future.set_exception(exc)
+                else:
+                    picked.append((request, budget, selection))
+        self.stats.batches += 1
+        self.stats.queries += len(batch)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        if len(batch) > 1:
+            self.stats.batched_queries += len(batch)
+        if not picked:
+            return
+        try:
+            finals = answer_selections(
+                ptable,
+                [(req.query, sel.selection) for req, __, sel in picked],
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded per future
+            self.stats.failures += len(picked)
+            for request, __, __sel in picked:
+                request.future.set_exception(exc)
+            return
+        for (request, budget, selection), groups in zip(picked, finals):
+            request.future.set_result(
+                ApproximateAnswer(
+                    query=request.query,
+                    groups=groups,
+                    selection=selection,
+                    budget=budget,
+                    num_partitions=num_partitions,
+                )
+            )

@@ -76,7 +76,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.aggregates import ComponentKind
-from repro.engine.batch_executor import fused_view, reduce_live_segments
+from repro.engine.batch_executor import (
+    TABLE_CACHE_LOCK,
+    FusedTableView,
+    fused_view,
+    gather_partitions,
+    reduce_live_segments,
+)
 from repro.engine.executor import ComponentAnswer, GroupKey, _scalar
 from repro.engine.expressions import BinOp, Expression
 from repro.engine.predicates import Predicate
@@ -320,9 +326,14 @@ class WorkloadExecutor:
     #: code cache needs no cap — it is bounded by the schema width.
     CACHE_LIMIT = 256
 
-    def __init__(self, ptable: PartitionedTable) -> None:
+    def __init__(
+        self, ptable: PartitionedTable, view: FusedTableView | None = None
+    ) -> None:
         self.ptable = ptable
-        self.view = fused_view(ptable)
+        # ``view`` overrides the table's cached fused view — the subset
+        # sweep runs an ephemeral executor over a gathered sub-view whose
+        # local partition ``i`` is some global partition ``parts[i]``.
+        self.view = fused_view(ptable) if view is None else view
         # Execution twin of the featurization plan cache: same memo +
         # hit/miss machinery, compiling predicates to filtered row sets.
         self.mask_plans = PlanCache(
@@ -338,18 +349,45 @@ class WorkloadExecutor:
 
     @classmethod
     def for_table(cls, ptable: PartitionedTable) -> WorkloadExecutor:
-        """A process-wide executor per table (caches are the state)."""
-        executor = getattr(ptable, "_workload_executor", None)
-        if executor is None:
-            executor = cls(ptable)
-            ptable._workload_executor = executor
-        return executor
+        """A process-wide executor per table (caches are the state).
+
+        Memoization is atomic (same lock as ``BatchExecutor.for_table``):
+        concurrent first calls all receive one executor instead of racing
+        the check-then-set and building duplicate cache states.
+        """
+        with TABLE_CACHE_LOCK:
+            executor = getattr(ptable, "_workload_executor", None)
+            if executor is None:
+                executor = cls(ptable)
+                ptable._workload_executor = executor
+            return executor
 
     # -- public API ----------------------------------------------------------
 
-    def answer_matrix(self, queries) -> AnswerMatrix:
-        """Answers for every query, deduplicating identical queries."""
+    def answer_matrix(self, queries, partitions=None) -> AnswerMatrix:
+        """Answers for every query, deduplicating identical queries.
+
+        With ``partitions=None`` the sweep covers the whole table and the
+        result is indexed by global partition id. With an explicit
+        sequence of partition ids, only those partitions' rows are
+        gathered (one fancy-index per used column) and answered in one
+        sweep; local partition ``i`` of the result is global partition
+        ``partitions[i]`` (duplicates allowed, any order), with each
+        local answer bit-identical to the same partition's answer in a
+        full sweep — the serving front end's "one sweep over the
+        selected-partition union" path. Subset sweeps run on an ephemeral
+        executor, so the persistent full-view caches are never polluted
+        with subset-local row sets; mask/factorization/expression sharing
+        still applies *within* the subset workload.
+        """
         queries = list(queries)
+        if partitions is not None:
+            return self._subset_executor(queries, partitions)._answer_all(
+                queries
+            )
+        return self._answer_all(queries)
+
+    def _answer_all(self, queries: list[Query]) -> AnswerMatrix:
         blocks: list[QueryAnswerBlock] = []
         seen: dict[Query, QueryAnswerBlock] = {}
         for query in queries:
@@ -361,6 +399,23 @@ class WorkloadExecutor:
                 seen[query] = block
             blocks.append(block)
         return AnswerMatrix(queries, blocks, self.view.num_partitions)
+
+    def _subset_executor(
+        self, queries: list[Query], partitions
+    ) -> WorkloadExecutor:
+        """An ephemeral executor over the gathered sub-view.
+
+        Gathers exactly the columns the batch's queries touch; the
+        sub-executor's caches are scoped to this batch, so identical
+        predicates/factorizations across the batch still compile once.
+        """
+        used: set[str] = set()
+        for query in queries:
+            used |= query.columns() | set(query.group_by)
+        sub = gather_partitions(
+            self.view, partitions, [c for c in self.view.columns if c in used]
+        )
+        return WorkloadExecutor(self.ptable, view=sub)
 
     def partition_answers(self, query: Query) -> LazyPartitionAnswers:
         """Single-query convenience: the lazy per-partition dict view."""

@@ -32,6 +32,14 @@ class ConfigError(ReproError):
     """An invalid configuration value was supplied."""
 
 
+class ServingStoppedError(ReproError):
+    """A request was submitted to (or stranded in) a stopped front end.
+
+    Futures still queued when :meth:`ServingFrontEnd.stop` drains the
+    admission queue fail with this error rather than hanging forever.
+    """
+
+
 class StorageError(ReproError):
     """An on-disk artifact could not be written, read, or trusted.
 

@@ -28,6 +28,7 @@ path remains in place as the reference oracle.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -318,6 +319,14 @@ class PlanCache:
         self.misses = 0
         self._compiler = compiler if compiler is not None else PredicatePlan.compile
         self._plans: dict[Predicate | None, object] = {}
+        # The LRU refresh (pop + reinsert) and the at-capacity eviction
+        # are multi-step dict mutations; two concurrent ``get``s on the
+        # same predicate could interleave pop/reinsert and raise
+        # ``KeyError``, or both evict and lose live entries. Serving
+        # shares one cache across every front-end thread, so every
+        # public method runs under this lock. Reentrant so a compiler
+        # that itself consults the cache cannot deadlock.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -331,10 +340,12 @@ class PlanCache:
         derive their keys from that deployment's own queries the way
         ``cli train`` does, not from here.
         """
-        return tuple(sorted(repr(predicate) for predicate in self._plans))
+        with self._lock:
+            return tuple(sorted(repr(predicate) for predicate in self._plans))
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def get(self, predicate: Predicate | None):
         """The compiled plan for ``predicate``, compiling on first sight.
@@ -345,18 +356,24 @@ class PlanCache:
         predicate therefore costs exactly one eviction — a long-running
         process keeps its hot set instead of periodically dropping the
         whole cache and recompiling everything.
+
+        Thread-safe: the whole lookup-or-compile runs under the cache
+        lock, so concurrent callers of the same predicate get one
+        compile and identical plan objects, and the LRU bookkeeping
+        never tears.
         """
-        plan = self._plans.get(predicate)
-        if plan is not None:
-            self.hits += 1
-            self._plans[predicate] = self._plans.pop(predicate)
+        with self._lock:
+            plan = self._plans.get(predicate)
+            if plan is not None:
+                self.hits += 1
+                self._plans[predicate] = self._plans.pop(predicate)
+                return plan
+            self.misses += 1
+            plan = self._compiler(predicate)
+            if len(self._plans) >= self.limit:
+                del self._plans[next(iter(self._plans))]
+            self._plans[predicate] = plan
             return plan
-        self.misses += 1
-        plan = self._compiler(predicate)
-        if len(self._plans) >= self.limit:
-            del self._plans[next(iter(self._plans))]
-        self._plans[predicate] = plan
-        return plan
 
 
 #: Process-wide default cache, shared by all feature builders.

@@ -52,6 +52,7 @@ def test_perf_benches_exist():
     assert "bench_perf_estimation_plane.py" in names
     assert "bench_perf_sketch_plane.py" in names
     assert "bench_perf_recovery.py" in names
+    assert "bench_perf_serving.py" in names
 
 
 def test_every_perf_bench_has_smoke_entry():
@@ -103,6 +104,14 @@ def test_perf_bench_main_path(path, tmp_path, monkeypatch):
             assert row["grid_ms"] > 0.0
             assert row["grid_speedup"] > 0.0
             assert row["candidates"] > 0
+    if bench_name == "perf_serving":
+        # The latency percentiles and the batching evidence must survive
+        # schema drift (the speedup claim is meaningless without them).
+        for row in persisted["results"]:
+            assert 0.0 < row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"]
+            assert row["concurrency"] >= 1
+            assert row["mean_batch"] > 0.0
+            assert row["serving_qps"] > 0.0 and row["sequential_qps"] > 0.0
     if bench_name == "perf_sketch_plane":
         # Build and cold-start claims are all parity-gated; the flag,
         # the three cold-start timings, and the bytes-touched/RSS

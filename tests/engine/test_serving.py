@@ -1,0 +1,497 @@
+"""Serving plane: subset sweeps, batched scatter, and the front end.
+
+Three layers, each pinned against the layer below it bit for bit:
+
+1. ``WorkloadExecutor.answer_matrix(queries, partitions=...)`` — the
+   subset sweep — must match the single-query ``BatchExecutor`` subset
+   gather and the scalar per-partition oracle;
+2. :func:`answer_selections` — the batched pick-scatter — must replay
+   ``PS3.query``'s combine walk exactly (same key insertion order, same
+   float chains) for every (query, selection) pair;
+3. :class:`ServingFrontEnd` — admission batching over threads — must
+   return answers bit-identical to the sequential path for the same
+   selections, isolate per-request failures, and stop cleanly.
+
+Plus the concurrency hammers for the races this PR fixes: the
+``for_table``/``fused_view`` check-then-set memoizations and
+query-vs-append interleavings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import PS3, _selection_groups
+from repro.datasets.registry import get_dataset
+from repro.engine.aggregates import avg_of, count_star, sum_of
+from repro.engine.batch_executor import BatchExecutor, fused_view
+from repro.engine.executor import execute_on_partition
+from repro.engine.expressions import col
+from repro.engine.layout import partition_evenly
+from repro.engine.predicates import Comparison, InSet
+from repro.engine.query import Query
+from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.serving import (
+    ServingConfig,
+    ServingFrontEnd,
+    answer_selections,
+)
+from repro.engine.table import Table
+from repro.engine.workload_executor import WorkloadExecutor
+from repro.errors import ConfigError, ServingStoppedError
+from repro.workload import QueryGenerator
+
+SCHEMA = Schema.of(
+    Column("x", ColumnKind.NUMERIC, positive=True),
+    Column("y", ColumnKind.NUMERIC),
+    Column("d", ColumnKind.DATE),
+    Column("cat", ColumnKind.CATEGORICAL, low_cardinality=True),
+)
+
+
+def build_table(num_rows: int, seed: int = 5) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table(
+        SCHEMA,
+        {
+            "x": rng.exponential(10.0, num_rows) + 1.0,
+            "y": rng.normal(0.0, 5.0, num_rows).round(3),
+            "d": rng.integers(0, 40, num_rows),
+            "cat": rng.choice(["a", "b", "c", "dd"], num_rows),
+        },
+    )
+
+
+def _workload() -> list[Query]:
+    """Queries with predicate/group-by overlap, as a serving mix has."""
+    hot = Comparison("x", ">", 5.0)
+    return [
+        Query([sum_of(col("x")), count_star()], hot, ("cat",)),
+        Query([avg_of(col("y"))], hot, ("cat",)),
+        Query([count_star()], InSet("cat", {"a", "c"}), ("d",)),
+        Query([sum_of(col("x") + col("y"))], None, ()),
+        Query([sum_of(col("x")), count_star()], hot, ("cat",)),  # dup of [0]
+    ]
+
+
+@pytest.fixture(scope="module")
+def ptable():
+    return partition_evenly(build_table(3000, seed=8), 12)
+
+
+def _assert_bitwise(actual, expected, context=""):
+    assert len(actual) == len(expected), context
+    for i, (a, e) in enumerate(zip(actual, expected)):
+        assert list(a.keys()) == list(e.keys()), (context, i)
+        for key in e:
+            assert a[key].tobytes() == e[key].tobytes(), (context, i, key)
+
+
+class TestSubsetSweepParity:
+    """`answer_matrix(queries, partitions=...)` vs the existing paths."""
+
+    PARTITIONS = [7, 2, 2, 0, 11, 5]  # unordered, with a duplicate
+
+    def test_matches_batch_executor_subset(self, ptable):
+        queries = _workload()
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix(
+            queries, partitions=self.PARTITIONS
+        )
+        batch = BatchExecutor.for_table(ptable)
+        for qi, query in enumerate(queries):
+            expected = batch.partition_answers(
+                query, partitions=self.PARTITIONS
+            )
+            _assert_bitwise(
+                matrix.answers(qi), expected, f"query[{qi}] {query.label()}"
+            )
+
+    def test_matches_scalar_oracle(self, ptable):
+        queries = _workload()
+        matrix = WorkloadExecutor.for_table(ptable).answer_matrix(
+            queries, partitions=self.PARTITIONS
+        )
+        for qi, query in enumerate(queries):
+            expected = [
+                execute_on_partition(ptable[p], query)
+                for p in self.PARTITIONS
+            ]
+            _assert_bitwise(
+                matrix.answers(qi), expected, f"query[{qi}] {query.label()}"
+            )
+
+    def test_duplicate_queries_still_alias(self, ptable):
+        executor = WorkloadExecutor.for_table(ptable)
+        queries = _workload()
+        matrix = executor.answer_matrix(queries, partitions=[1, 4])
+        assert matrix.block(0) is matrix.block(4)
+
+    def test_persistent_executor_not_polluted(self, ptable):
+        """The subset sweep runs on an ephemeral executor: the cached
+        full-table executor keeps its identity and its full answers."""
+        executor = WorkloadExecutor.for_table(ptable)
+        query = _workload()[0]
+        before = executor.answer_matrix([query]).answers(0)
+        executor.answer_matrix(_workload(), partitions=[3, 1])
+        assert WorkloadExecutor.for_table(ptable) is executor
+        after = executor.answer_matrix([query]).answers(0)
+        assert len(after) == ptable.num_partitions
+        _assert_bitwise(after, before, "full-table answers changed")
+
+
+class TestAnswerSelections:
+    """The batched scatter replays PS3.query's combine walk exactly."""
+
+    def _selections(self, ptable):
+        from repro.engine.combiner import WeightedChoice
+
+        rng = np.random.default_rng(17)
+        pairs = []
+        for query in _workload():
+            k = int(rng.integers(2, 6))
+            parts = rng.choice(ptable.num_partitions, size=k, replace=False)
+            pairs.append(
+                (
+                    query,
+                    [
+                        WeightedChoice(int(p), float(w))
+                        for p, w in zip(
+                            parts, rng.uniform(0.5, 3.0, size=k).round(3)
+                        )
+                    ],
+                )
+            )
+        return pairs
+
+    def test_bit_identical_to_sequential_walk(self, ptable):
+        pairs = self._selections(ptable)
+        finals = answer_selections(ptable, pairs)
+        for (query, selection), batched in zip(pairs, finals):
+            sequential = _selection_groups(ptable, query, selection, True)
+            assert list(batched.keys()) == list(sequential.keys())
+            for key in sequential:
+                assert batched[key].tobytes() == sequential[key].tobytes(), (
+                    query.label(),
+                    key,
+                )
+
+    def test_empty_selection_yields_empty_answer(self, ptable):
+        query = _workload()[3]
+        pairs = [(query, []), self._selections(ptable)[0]]
+        finals = answer_selections(ptable, pairs)
+        assert finals[0] == {}
+        assert finals[1]  # the non-empty pair is unaffected
+
+
+class TestServingConfig:
+    def test_defaults_valid(self):
+        config = ServingConfig()
+        assert config.max_batch_size >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_batch_size": 0}, {"max_hold_seconds": -0.1}],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigError):
+            ServingConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def served_system():
+    """A small fitted system for front-end tests (module-scoped)."""
+    spec = get_dataset("kdd")
+    ptable = spec.build(3000, 12, seed=4)
+    workload = spec.workload()
+    train, test = QueryGenerator(workload, ptable.table, seed=6).train_test_split(
+        10, 4
+    )
+    return PS3(ptable, workload).fit(train), test
+
+
+def _assert_answer_matches_sequential(system, answer):
+    """Recompute the answer from its own selection via the sequential
+    plane; batched serving must match it bit for bit."""
+    sequential = _selection_groups(
+        system.ptable, answer.query, answer.selection.selection, True
+    )
+    assert list(answer.groups.keys()) == list(sequential.keys())
+    for key in sequential:
+        assert answer.groups[key].tobytes() == sequential[key].tobytes()
+
+
+class TestQueryMany:
+    def test_bit_identical_to_sequential_for_same_selections(
+        self, served_system
+    ):
+        system, test = served_system
+        queries = [test[0], test[1], test[0], test[2], test[3]]
+        answers = system.query_many(queries, budget_fraction=0.4)
+        assert [a.query for a in answers] == queries
+        for answer in answers:
+            assert len(answer.selection.selection) <= answer.budget
+            _assert_answer_matches_sequential(system, answer)
+
+    def test_budget_validation(self, served_system):
+        system, test = served_system
+        with pytest.raises(ConfigError):
+            system.query_many([test[0]])
+        with pytest.raises(ConfigError):
+            system.query_many(
+                [test[0]], budget_partitions=2, budget_fraction=0.5
+            )
+
+    def test_empty_batch(self, served_system):
+        system, __ = served_system
+        assert system.query_many([], budget_partitions=2) == []
+
+
+class TestServingFrontEnd:
+    def test_batched_answers_bit_identical(self, served_system):
+        system, test = served_system
+        config = ServingConfig(max_batch_size=8, max_hold_seconds=0.2)
+        with system.serve(config) as front:
+            futures = [
+                front.submit(test[i % len(test)], budget_fraction=0.4)
+                for i in range(16)
+            ]
+            answers = [f.result(timeout=30) for f in futures]
+        for answer in answers:
+            _assert_answer_matches_sequential(system, answer)
+        assert front.stats.queries == 16
+        # The 0.2s hold with instant submits guarantees real batches.
+        assert front.stats.largest_batch >= 2
+        assert front.stats.batched_queries >= 2
+        assert front.stats.mean_batch_size > 1.0
+
+    def test_blocking_query_helper(self, served_system):
+        system, test = served_system
+        with system.serve() as front:
+            answer = front.query(test[0], budget_partitions=3)
+        _assert_answer_matches_sequential(system, answer)
+        assert len(answer.selection.selection) <= 3
+
+    def test_async_submit(self, served_system):
+        import asyncio
+
+        system, test = served_system
+
+        async def go(front):
+            return await asyncio.gather(
+                front.submit_async(test[0], budget_fraction=0.3),
+                front.submit_async(test[1], budget_fraction=0.3),
+            )
+
+        with system.serve() as front:
+            answers = asyncio.run(go(front))
+        for answer in answers:
+            _assert_answer_matches_sequential(system, answer)
+
+    def test_pick_dedup_shares_selection_within_batch(self, served_system):
+        system, test = served_system
+        config = ServingConfig(max_batch_size=8, max_hold_seconds=0.3)
+        with system.serve(config) as front:
+            futures = [
+                front.submit(test[0], budget_partitions=3) for __ in range(6)
+            ]
+            answers = [f.result(timeout=30) for f in futures]
+        # The 0.3s hold admits all 6 into one batch; same query + same
+        # budget -> one pick shared by all, and the answers agree bitwise.
+        assert front.stats.pick_dedup_hits >= 5
+        first = answers[0]
+        for answer in answers[1:]:
+            assert answer.selection.selection == first.selection.selection
+            assert list(answer.groups.keys()) == list(first.groups.keys())
+            for key in first.groups:
+                assert answer.groups[key].tobytes() == first.groups[key].tobytes()
+        for answer in answers:
+            _assert_answer_matches_sequential(system, answer)
+
+    def test_pick_dedup_disabled_picks_per_request(self, served_system):
+        system, test = served_system
+        config = ServingConfig(
+            max_batch_size=8, max_hold_seconds=0.3, dedup_picks=False
+        )
+        with system.serve(config) as front:
+            futures = [
+                front.submit(test[0], budget_partitions=3) for __ in range(6)
+            ]
+            answers = [f.result(timeout=30) for f in futures]
+        assert front.stats.pick_dedup_hits == 0
+        for answer in answers:
+            _assert_answer_matches_sequential(system, answer)
+
+    def test_per_request_failure_isolated(self, served_system):
+        system, test = served_system
+        bad = Query([count_star()], Comparison("no_such_column", ">", 1.0))
+        with system.serve(
+            ServingConfig(max_batch_size=4, max_hold_seconds=0.2)
+        ) as front:
+            good_future = front.submit(test[0], budget_partitions=3)
+            bad_future = front.submit(bad, budget_partitions=3)
+            answer = good_future.result(timeout=30)
+            with pytest.raises(Exception):
+                bad_future.result(timeout=30)
+        _assert_answer_matches_sequential(system, answer)
+        assert front.stats.failures == 1
+
+    def test_submit_validates_budget_shape_immediately(self, served_system):
+        system, test = served_system
+        with system.serve() as front:
+            with pytest.raises(ConfigError):
+                front.submit(test[0])
+            with pytest.raises(ConfigError):
+                front.submit(test[0], budget_partitions=2, budget_fraction=0.5)
+            with pytest.raises(ConfigError):
+                front.submit(test[0], budget_fraction=1.5)
+
+    def test_stopped_front_end_rejects_submissions(self, served_system):
+        system, test = served_system
+        front = system.serve()
+        front.stop()
+        with pytest.raises(ServingStoppedError):
+            front.submit(test[0], budget_partitions=2)
+
+    def test_double_start_rejected(self, served_system):
+        system, __ = served_system
+        front = system.serve()
+        try:
+            with pytest.raises(ConfigError):
+                front.start()
+        finally:
+            front.stop()
+
+    def test_stop_idempotent_and_context_reentrant(self, served_system):
+        system, test = served_system
+        front = ServingFrontEnd(system)
+        with front:
+            front.query(test[0], budget_partitions=2)
+        front.stop()  # second stop is a no-op
+        with front:  # restartable after stop
+            front.query(test[1], budget_partitions=2)
+
+    def test_requires_fitted_system(self):
+        spec = get_dataset("kdd")
+        ptable = spec.build(1000, 4, seed=5)
+        from repro.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            PS3(ptable, spec.workload()).serve()
+
+
+class TestCacheMemoizationRaces:
+    """Regression: `for_table`/`fused_view` check-then-set on the table
+    object was unlocked — two threads could each build an executor (and
+    its fused view) and race the attribute write."""
+
+    def _hammer(self, build, check_identity=True):
+        results: list[object] = []
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def run() -> None:
+            barrier.wait()
+            try:
+                results.append(build())
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        if check_identity:
+            assert all(r is results[0] for r in results)
+
+    def test_batch_executor_memoized_once(self):
+        ptable = partition_evenly(build_table(600, seed=21), 6)
+        self._hammer(lambda: BatchExecutor.for_table(ptable))
+
+    def test_workload_executor_memoized_once(self):
+        ptable = partition_evenly(build_table(600, seed=22), 6)
+        self._hammer(lambda: WorkloadExecutor.for_table(ptable))
+
+    def test_fused_view_memoized_once(self):
+        ptable = partition_evenly(build_table(600, seed=23), 6)
+        self._hammer(lambda: fused_view(ptable))
+
+
+class TestConcurrentAppendVsQueries:
+    """In-flight queries racing appends see exactly one table
+    generation: every answer is internally consistent (selection within
+    its generation's partition count) and recomputes bit-identically —
+    old partitions are immutable across appends, so the final table is
+    a valid oracle for every generation's selections."""
+
+    @pytest.mark.parametrize("use_serving", [False, True])
+    def test_hammer(self, use_serving):
+        spec = get_dataset("kdd")
+        ptable = spec.build(2400, 8, seed=13)
+        workload = spec.workload()
+        train, test = QueryGenerator(
+            workload, ptable.table, seed=3
+        ).train_test_split(8, 3)
+        system = PS3(ptable, workload).fit(train)
+        generations = {system.ptable.num_partitions}
+
+        answers: list = []
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def appender() -> None:
+            try:
+                for seed in range(4):
+                    rows = dict(spec.generate(200, 500 + seed).columns)
+                    generations.add(system.append(rows) + 1)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        front = system.serve() if use_serving else None
+        try:
+
+            def client(seed: int) -> None:
+                try:
+                    i = 0
+                    while not stop.is_set() or i < 4:
+                        query = test[(seed + i) % len(test)]
+                        if front is not None:
+                            answer = front.query(query, budget_fraction=0.5)
+                        else:
+                            answer = system.query(query, budget_fraction=0.5)
+                        answers.append(answer)
+                        i += 1
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(s,)) for s in range(4)
+            ]
+            appends = threading.Thread(target=appender)
+            for t in threads:
+                t.start()
+            appends.start()
+            appends.join()
+            for t in threads:
+                t.join()
+        finally:
+            if front is not None:
+                front.stop()
+
+        assert errors == []
+        assert len(generations) == 5  # all four appends landed
+        assert answers
+        for answer in answers:
+            # One consistent generation, never a torn view.
+            assert answer.num_partitions in generations
+            assert all(
+                c.partition < answer.num_partitions
+                for c in answer.selection.selection
+            )
+            _assert_answer_matches_sequential(system, answer)

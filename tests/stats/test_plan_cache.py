@@ -126,6 +126,65 @@ class TestLRUEviction:
         assert cache.get(self.PREDICATES[0]) is plan
 
 
+class TestThreadSafety:
+    """Concurrent ``get`` used to race: two threads could both pop the
+    same key in the LRU refresh (KeyError), or both evict at capacity
+    and drop a just-inserted plan. The cache now holds a lock across
+    the whole lookup/insert/evict step."""
+
+    def test_concurrent_get_hammer(self):
+        import threading
+
+        cache = PlanCache(limit=4)
+        predicates = [Comparison("x", ">", float(i)) for i in range(12)]
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for __ in range(400):
+                    predicate = predicates[int(rng.integers(len(predicates)))]
+                    plan = cache.get(predicate)
+                    assert plan is not None
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # The cache never exceeds its limit and its counters balance.
+        assert len(cache) <= 4
+        assert cache.hits + cache.misses == 8 * 400
+
+    def test_hit_returns_same_plan_under_contention(self):
+        import threading
+
+        cache = PlanCache(limit=8)
+        predicate = Comparison("x", ">", 1.0)
+        canonical = cache.get(predicate)
+        seen: list[object] = []
+        barrier = threading.Barrier(6)
+
+        def reader() -> None:
+            barrier.wait()
+            for __ in range(200):
+                seen.append(cache.get(predicate))
+
+        threads = [threading.Thread(target=reader) for __ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(plan is canonical for plan in seen)
+
+
 class TestPersistedKeys:
     """``PlanCache.keys()`` backs the persisted ``plan_cache_keys``."""
 

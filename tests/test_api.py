@@ -95,3 +95,39 @@ class TestAnswerWithSelection:
         assert final  # some groups found
         for vec in final.values():
             assert vec.shape == (2,)
+
+    def test_subset_path_bit_identical_to_full_table_path(
+        self, tpch_ptable, query
+    ):
+        """Regression: the helper now executes only the selected
+        partitions (subset gather, remapped local indices). The answer
+        must match the historical full-table pass bit for bit."""
+        from repro.engine.combiner import estimate
+        from repro.engine.executor import compute_partition_answers
+
+        selection = [
+            WeightedChoice(9, 1.5),
+            WeightedChoice(2, 0.75),
+            WeightedChoice(21, 2.0),
+        ]
+        subset = answer_with_selection(tpch_ptable, query, selection)
+        full = estimate(
+            query,
+            compute_partition_answers(tpch_ptable, query),
+            selection,
+        )
+        assert list(subset.keys()) == list(full.keys())
+        for key in full:
+            assert subset[key].tobytes() == full[key].tobytes(), key
+
+    def test_scalar_path_unchanged(self, tpch_ptable, query):
+        selection = [WeightedChoice(3, 1.0), WeightedChoice(11, 0.5)]
+        batched = answer_with_selection(
+            tpch_ptable, query, selection, batched=True
+        )
+        scalar = answer_with_selection(
+            tpch_ptable, query, selection, batched=False
+        )
+        assert list(batched.keys()) == list(scalar.keys())
+        for key in scalar:
+            assert batched[key].tobytes() == scalar[key].tobytes(), key
