@@ -41,6 +41,7 @@ from repro.api import PS3
 from repro.bench.reporting import emit, format_table, results_dir
 from repro.datasets.registry import get_dataset
 from repro.engine.serving import ServingConfig
+from repro.errors import ServingOverloadError
 from repro.workload import QueryGenerator
 
 PARTITION_COUNTS = (64, 256)
@@ -56,6 +57,27 @@ POOL_SIZE = 8
 BUDGET_FRACTION = 0.3
 
 SERVING_CONFIG = ServingConfig(max_batch_size=32, max_hold_seconds=0.002)
+
+#: Overload scenario: an open-loop flood (submit without waiting) from
+#: this many clients at the largest partition count, offered load far
+#: above the worker's drain rate, under three admission policies.
+OVERLOAD_CLIENTS = 12
+OVERLOAD_QUEUE_DEPTH = 16
+OVERLOAD_POLICIES = ("off", "reject", "degrade")
+
+
+def _overload_config(policy: str) -> ServingConfig:
+    if policy == "off":
+        return ServingConfig(
+            max_batch_size=4, max_hold_seconds=0.0, max_queue_depth=None
+        )
+    return ServingConfig(
+        max_batch_size=4,
+        max_hold_seconds=0.0,
+        max_queue_depth=OVERLOAD_QUEUE_DEPTH,
+        shed_policy=policy,
+        min_degraded_fraction=0.25,
+    )
 
 
 def _build_system(num_partitions: int):
@@ -131,10 +153,88 @@ def _time_serving(system, streams):
     return wall, latencies, front.stats
 
 
+def _time_overload(system, streams, policy: str) -> dict:
+    """Open-loop flood under one admission policy; returns a report row.
+
+    Every client submits its whole stream without waiting for answers,
+    so the queue fills far faster than the worker drains it — exactly
+    the regime admission control exists for. Latency is measured per
+    request from submit to future completion via done-callbacks.
+    """
+    offered = sum(len(stream) for stream in streams)
+    latencies: list[float] = []
+    answers: list = []
+    failures: list[BaseException] = []
+    sheds = [0]
+    futures: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(streams))
+    front = system.serve(_overload_config(policy))
+
+    def client(stream) -> None:
+        barrier.wait()
+        for query in stream:
+            started = time.perf_counter()
+            try:
+                future = front.submit(query, budget_fraction=BUDGET_FRACTION)
+            except ServingOverloadError:
+                with lock:
+                    sheds[0] += 1
+                continue
+
+            def _done(done_future, started=started) -> None:
+                elapsed = time.perf_counter() - started
+                with lock:
+                    if done_future.exception() is None:
+                        latencies.append(elapsed)
+                        answers.append(done_future.result())
+                    else:
+                        failures.append(done_future.exception())
+
+            future.add_done_callback(_done)
+            with lock:
+                futures.append(future)
+
+    threads = [
+        threading.Thread(target=client, args=(stream,)) for stream in streams
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for future in futures:
+        future.exception(timeout=120)
+    front.stop()
+    if failures:
+        raise failures[0]
+    degraded = sum(1 for answer in answers if answer.degraded)
+    latencies_ms = (
+        np.sort(np.asarray(latencies)) * 1e3
+        if latencies
+        else np.zeros(1)
+    )
+    return {
+        "policy": policy,
+        "partitions": system.ptable.num_partitions,
+        "offered": offered,
+        "answered": len(answers),
+        "shed": sheds[0],
+        "shed_rate": sheds[0] / offered,
+        "degraded": degraded,
+        "degraded_fraction": degraded / len(answers) if answers else 0.0,
+        "p50_ms": float(np.percentile(latencies_ms, 50)),
+        "p99_ms": float(np.percentile(latencies_ms, 99)),
+        "queue_peak": front.stats.queue_peak,
+    }
+
+
 def run() -> dict:
     rows = []
+    overload_inputs = None
     for num_partitions in PARTITION_COUNTS:
         system, pool = _build_system(num_partitions)
+        if num_partitions == PARTITION_COUNTS[-1]:
+            overload_inputs = (system, pool)
         for concurrency in CONCURRENCY_LEVELS:
             streams = _request_streams(pool, concurrency, seed=concurrency)
             num_requests = concurrency * REQUESTS_PER_CLIENT
@@ -166,6 +266,14 @@ def run() -> dict:
                     "speedup": best_seq / best_serve,
                 }
             )
+    overload_system, overload_pool = overload_inputs
+    overload_streams = _request_streams(
+        overload_pool, OVERLOAD_CLIENTS, seed=101
+    )
+    overload_rows = [
+        _time_overload(overload_system, overload_streams, policy)
+        for policy in OVERLOAD_POLICIES
+    ]
     report = {
         "benchmark": "perf_serving",
         "rows_per_partition": ROWS_PER_PARTITION,
@@ -176,42 +284,69 @@ def run() -> dict:
         "budget_fraction": BUDGET_FRACTION,
         "timed_step": "closed-loop clients: serving front end vs PS3.query",
         "results": rows,
+        "overload_queue_depth": OVERLOAD_QUEUE_DEPTH,
+        "overload": overload_rows,
     }
     (results_dir() / "BENCH_perf_serving.json").write_text(
         json.dumps(report, indent=2) + "\n"
     )
-    emit(
-        "perf_serving",
-        format_table(
+    closed_loop_table = format_table(
+        [
+            "partitions",
+            "clients",
+            "seq qps",
+            "serve qps",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "batch",
+            "speedup",
+        ],
+        [
             [
-                "partitions",
-                "clients",
-                "seq qps",
-                "serve qps",
-                "p50 (ms)",
-                "p95 (ms)",
-                "p99 (ms)",
-                "batch",
-                "speedup",
-            ],
-            [
-                [
-                    r["partitions"],
-                    r["concurrency"],
-                    r["sequential_qps"],
-                    r["serving_qps"],
-                    r["p50_ms"],
-                    r["p95_ms"],
-                    r["p99_ms"],
-                    f"{r['mean_batch']:.1f}",
-                    f"{r['speedup']:.1f}x",
-                ]
-                for r in rows
-            ],
-            title=f"Closed-loop serving, zipf({ZIPF_S}) over {POOL_SIZE} "
-            f"templates (best of {REPEATS})",
-        ),
+                r["partitions"],
+                r["concurrency"],
+                r["sequential_qps"],
+                r["serving_qps"],
+                r["p50_ms"],
+                r["p95_ms"],
+                r["p99_ms"],
+                f"{r['mean_batch']:.1f}",
+                f"{r['speedup']:.1f}x",
+            ]
+            for r in rows
+        ],
+        title=f"Closed-loop serving, zipf({ZIPF_S}) over {POOL_SIZE} "
+        f"templates (best of {REPEATS})",
     )
+    overload_table = format_table(
+        [
+            "policy",
+            "offered",
+            "answered",
+            "shed rate",
+            "degraded",
+            "p50 (ms)",
+            "p99 (ms)",
+            "queue peak",
+        ],
+        [
+            [
+                r["policy"],
+                r["offered"],
+                r["answered"],
+                f"{r['shed_rate']:.2f}",
+                f"{r['degraded_fraction']:.2f}",
+                r["p50_ms"],
+                r["p99_ms"],
+                r["queue_peak"],
+            ]
+            for r in overload_rows
+        ],
+        title=f"Open-loop overload, {OVERLOAD_CLIENTS} clients, "
+        f"queue depth {OVERLOAD_QUEUE_DEPTH} (admission off/reject/degrade)",
+    )
+    emit("perf_serving", closed_loop_table + "\n\n" + overload_table)
     return report
 
 
@@ -224,6 +359,25 @@ def test_perf_serving():
         # concurrent clients to fill real batches.
         if row["concurrency"] >= 8:
             assert row["speedup"] >= 2.0, row
+    overload = {row["policy"]: row for row in report["overload"]}
+    for row in overload.values():
+        assert row["answered"] + row["shed"] == row["offered"], row
+        assert row["p50_ms"] <= row["p99_ms"], row
+    # No admission control: nothing shed, queue grows with offered load.
+    assert overload["off"]["shed"] == 0
+    # Reject: the bound bites under a flood and never trades accuracy.
+    assert overload["reject"]["shed"] > 0
+    assert overload["reject"]["degraded"] == 0
+    assert overload["reject"]["queue_peak"] <= OVERLOAD_QUEUE_DEPTH
+    # Degrade: accuracy is shed instead — some answers ran on shrunken
+    # budgets while the queue stayed bounded.
+    assert overload["degrade"]["degraded"] > 0
+    assert overload["degrade"]["queue_peak"] <= OVERLOAD_QUEUE_DEPTH
+    # Admission control is what bounds tail latency under overload.
+    for policy in ("reject", "degrade"):
+        assert overload[policy]["p99_ms"] <= overload["off"]["p99_ms"], (
+            overload
+        )
 
 
 if __name__ == "__main__":

@@ -27,7 +27,13 @@ from repro.api import PS3, ApproximateAnswer
 from repro.core.metrics import ErrorReport
 from repro.core.picker import PickerConfig
 from repro.core.training import TrainingConfig
-from repro.engine.serving import ServingConfig, ServingFrontEnd
+from repro.engine.serving import ServingConfig, ServingFrontEnd, ServingHealth
+from repro.errors import (
+    ServingError,
+    ServingOverloadError,
+    ServingStoppedError,
+    ServingTimeoutError,
+)
 
 __version__ = "1.0.0"
 
@@ -37,7 +43,12 @@ __all__ = [
     "ErrorReport",
     "PickerConfig",
     "ServingConfig",
+    "ServingError",
     "ServingFrontEnd",
+    "ServingHealth",
+    "ServingOverloadError",
+    "ServingStoppedError",
+    "ServingTimeoutError",
     "TrainingConfig",
     "__version__",
 ]

@@ -75,13 +75,26 @@ class StalenessReport:
 
 @dataclass
 class ApproximateAnswer:
-    """An approximate query answer with full provenance."""
+    """An approximate query answer with full provenance.
+
+    ``budget`` is the resolved request budget; ``effective_budget`` is
+    what the pick actually ran with after any overload degradation by
+    the serving front end (``degraded`` flags the difference, so callers
+    see the accuracy-for-latency trade). Outside the degrade path the
+    two are equal.
+    """
 
     query: Query
     groups: FinalAnswer
     selection: PickerSelection
     budget: int
     num_partitions: int
+    effective_budget: int | None = None
+    degraded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.effective_budget is None:
+            self.effective_budget = self.budget
 
     @property
     def fraction_read(self) -> float:
@@ -282,16 +295,20 @@ class PS3:
             for (q, sel), groups in zip(picked, finals)
         ]
 
-    def serve(self, config: ServingConfig | None = None) -> ServingFrontEnd:
+    def serve(
+        self, config: ServingConfig | None = None, *, faults=None
+    ) -> ServingFrontEnd:
         """Start a micro-batch serving front end over this system.
 
         Returns the started :class:`~repro.engine.serving
         .ServingFrontEnd`; call its ``submit``/``query``/``submit_async``
         from any number of client threads or asyncio tasks, and ``stop``
-        it (or use it as a context manager) when done.
+        it (or use it as a context manager) when done. ``faults`` takes
+        a :class:`~repro.engine.faults.ServingFaults` hook set for
+        deterministic fault-injection tests.
         """
         self.picker  # noqa: B018 - fail fast with NotFittedError
-        return ServingFrontEnd(self, config).start()
+        return ServingFrontEnd(self, config, faults=faults).start()
 
     def execute_exact(self, query: Query) -> FinalAnswer:
         """The exact answer (full scan) for ground-truth comparison."""

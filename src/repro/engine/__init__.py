@@ -27,8 +27,15 @@ from repro.engine.predicates import (
     Or,
     Predicate,
 )
+from repro.engine.faults import FaultyPicker, ServingFaults, SimulatedWorkerCrash
 from repro.engine.query import Query
 from repro.engine.schema import Column, ColumnKind, Schema
+from repro.engine.serving import (
+    ServingConfig,
+    ServingFrontEnd,
+    ServingHealth,
+    ServingStats,
+)
 from repro.engine.table import Partition, PartitionedTable, Table
 from repro.engine.workload_executor import (
     AnswerMatrix,
@@ -50,6 +57,7 @@ __all__ = [
     "Const",
     "Contains",
     "Expression",
+    "FaultyPicker",
     "FusedTableView",
     "InSet",
     "Not",
@@ -59,6 +67,12 @@ __all__ = [
     "Predicate",
     "Query",
     "Schema",
+    "ServingConfig",
+    "ServingFaults",
+    "ServingFrontEnd",
+    "ServingHealth",
+    "ServingStats",
+    "SimulatedWorkerCrash",
     "Table",
     "WeightedChoice",
     "WorkloadExecutor",

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for the serving plane.
+
+The storage plane proves its crash-safety claims by enumeration
+(:mod:`repro.storage.faults`: kill every filesystem op once, check the
+recovered state). This module is the same discipline applied to the
+*query path*: every serving-side failure mode — a poisoned pick, a sick
+sweep, a worker crash mid-scatter, a wedged batch — is injectable at a
+deterministic point, so tests can enumerate fault points and assert the
+front end's isolation invariants (a poisoned request fails only its own
+future; a crash never strands batch-mates; recovery restores
+bit-identical answers) instead of sampling them.
+
+Two injection vehicles:
+
+* :class:`FaultyPicker` wraps any picker object and faults the *pick*
+  step: raise at the Nth ``select`` call (``fail_at_pick``, an ordinary
+  per-request failure), crash the worker at the Nth pick
+  (``crash_at_pick``), or slow every pick (``slow_pick_seconds``, for
+  deadline tests). Attribute access passes through, so it drops in for
+  ``PS3Picker`` anywhere.
+* :class:`ServingFaults` is handed to
+  :class:`~repro.engine.serving.ServingFrontEnd` and hooks the worker's
+  batch / sweep / scatter steps: crash at the Nth batch
+  (``crash_at_batch`` — worker death with the whole batch in flight),
+  fail the first k sweep attempts (``fail_sweeps`` — exercises the
+  transient-retry path; default fault is the ``EIO`` an mmap-backed
+  read surfaces), crash between the Nth and (N+1)th future completion
+  (``crash_at_scatter`` — the mid-scatter death that must not strand
+  the not-yet-answered batch-mates), and sleep per batch
+  (``slow_batch_seconds`` — makes deadlines expire at pick time).
+
+:class:`SimulatedWorkerCrash` derives from ``BaseException`` exactly
+like :class:`repro.storage.faults.SimulatedCrash`: no per-request
+``except Exception`` guard may swallow it — it must escape to the
+worker's supervisor, as a real crash would.
+"""
+
+from __future__ import annotations
+
+import errno
+import time
+
+from repro.errors import ExecutionError
+
+
+class SimulatedWorkerCrash(BaseException):
+    """The injected serving-worker death.
+
+    Derives from ``BaseException`` so the per-request and per-batch
+    ``except Exception`` isolation guards cannot swallow it: it
+    propagates out of the worker loop into the supervisor, which must
+    fail the in-flight futures and restart the worker.
+    """
+
+
+def transient_eio() -> OSError:
+    """The default injected sweep fault: a transient ``EIO`` read error.
+
+    This is what an mmap-backed bundle read surfaces when the disk has
+    a sick moment — the serving sweep must retry it with capped backoff
+    (mirroring ``storage/atomic.py``'s ``read_with_retry``), not fail
+    the whole batch.
+    """
+    return OSError(errno.EIO, "injected transient EIO")
+
+
+class FaultyPicker:
+    """Wraps a picker; deterministic pick-path faults.
+
+    ``fail_at_pick=k`` raises an ordinary :class:`ExecutionError` (or
+    the supplied ``error``) at the k-th ``select`` call (0-indexed,
+    counted across the picker's lifetime) — the "poisoned request"
+    case, which must fail only that request's future.
+    ``crash_at_pick=k`` raises :class:`SimulatedWorkerCrash` instead —
+    worker death while holding the system state lock.
+    ``slow_pick_seconds`` sleeps before every pick.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        fail_at_pick: int | None = None,
+        error: Exception | None = None,
+        crash_at_pick: int | None = None,
+        slow_pick_seconds: float = 0.0,
+    ) -> None:
+        self.inner = inner
+        self.fail_at_pick = fail_at_pick
+        self.error = error
+        self.crash_at_pick = crash_at_pick
+        self.slow_pick_seconds = slow_pick_seconds
+        self.picks = 0
+
+    def select(self, query, budget):
+        pick = self.picks
+        self.picks += 1
+        if self.slow_pick_seconds:
+            time.sleep(self.slow_pick_seconds)
+        if self.crash_at_pick is not None and pick == self.crash_at_pick:
+            raise SimulatedWorkerCrash(f"injected crash at pick {pick}")
+        if self.fail_at_pick is not None and pick == self.fail_at_pick:
+            raise self.error or ExecutionError(
+                f"injected pick failure at pick {pick}"
+            )
+        return self.inner.select(query, budget)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class ServingFaults:
+    """Deterministic fault hooks for the serving worker's batch loop.
+
+    Counters (``batches``/``sweeps``/``scatters``) record how many times
+    each hook fired, so a test can learn the op count of a clean run and
+    then sweep the crash index over the whole range — the same
+    run-once-then-enumerate pattern as
+    :func:`repro.storage.faults.sweep_kill_points`.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_at_batch: int | None = None,
+        crash_at_scatter: int | None = None,
+        fail_sweeps: int = 0,
+        sweep_error=transient_eio,
+        slow_batch_seconds: float = 0.0,
+    ) -> None:
+        self.crash_at_batch = crash_at_batch
+        self.crash_at_scatter = crash_at_scatter
+        self.fail_sweeps = fail_sweeps
+        self.sweep_error = sweep_error
+        self.slow_batch_seconds = slow_batch_seconds
+        self.batches = 0
+        self.sweeps = 0
+        self.sweeps_failed = 0
+        self.scatters = 0
+
+    # -- hooks (called by ServingFrontEnd's worker) --------------------------
+
+    def on_batch(self) -> None:
+        """Before a batch is picked: slow-op and worker-death faults."""
+        batch = self.batches
+        self.batches += 1
+        if self.slow_batch_seconds:
+            time.sleep(self.slow_batch_seconds)
+        if self.crash_at_batch is not None and batch == self.crash_at_batch:
+            raise SimulatedWorkerCrash(f"injected crash at batch {batch}")
+
+    def on_sweep(self) -> None:
+        """Before each sweep *attempt* (retries re-enter this hook)."""
+        self.sweeps += 1
+        if self.sweeps_failed < self.fail_sweeps:
+            self.sweeps_failed += 1
+            raise self.sweep_error()
+
+    def on_scatter(self) -> None:
+        """Before each future completion in the scatter loop."""
+        scatter = self.scatters
+        self.scatters += 1
+        if (
+            self.crash_at_scatter is not None
+            and scatter == self.crash_at_scatter
+        ):
+            raise SimulatedWorkerCrash(f"injected crash at scatter {scatter}")

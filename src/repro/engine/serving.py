@@ -13,6 +13,9 @@ analytics:
    collected into micro-batches under a configurable window
    (:class:`ServingConfig`: ``max_batch_size`` requests or
    ``max_hold_seconds`` after the first arrival, whichever trips first);
+   the queue is *bounded* (``max_queue_depth``) — at capacity new
+   requests are shed with :class:`ServingOverloadError` instead of
+   growing an unbounded backlog;
 2. **pick** — each request's partitions are selected sequentially in
    admission order under the system's state lock (the picker's rng and
    feature caches are shared mutable state), exactly as back-to-back
@@ -32,6 +35,24 @@ analytics:
    runs), so batched answers are bit-identical to the one-at-a-time
    path for the same selections.
 
+**Overload resilience.** An approximate engine has a degradation lever
+most systems lack: the sampling budget. Under the ``"degrade"`` shed
+policy the controller scales each request's resolved budget down as
+queue pressure rises (floored by ``min_degraded_fraction``), returning
+faster, wider-error answers instead of queueing or failing — the answer
+reports ``effective_budget``/``degraded`` so callers see the trade.
+Requests carry per-request **deadlines** (plus a config default); a
+request already expired at admission or pick time fails fast with
+:class:`ServingTimeoutError` instead of being swept, and the admission
+window stops padding a batch whose oldest request is near its deadline.
+The batch loop runs under a **supervisor**: a worker crash fails the
+in-flight futures (never stranding batch-mates) and restarts the loop,
+up to ``max_worker_restarts``; transient sweep failures (``EIO`` from
+mmap-backed reads) retry with capped backoff, mirroring
+``storage/atomic.py``'s read retry. :meth:`ServingFrontEnd.health`
+snapshots the whole picture. Every fault point is injectable via
+:mod:`repro.engine.faults` and proven by enumeration in the test tree.
+
 The front end exposes three client shapes: blocking
 (:meth:`ServingFrontEnd.query`), future-based
 (:meth:`ServingFrontEnd.submit`, for thread-pool clients), and
@@ -43,57 +64,122 @@ synchronously without threads.
 from __future__ import annotations
 
 import asyncio
+import errno
+import math
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
 from repro.engine.combiner import FinalAnswer, finalize_answer
 from repro.engine.query import Query
 from repro.engine.table import PartitionedTable
 from repro.engine.workload_executor import WorkloadExecutor
-from repro.errors import ConfigError, ServingStoppedError
+from repro.errors import (
+    ConfigError,
+    ExecutionError,
+    ServingError,
+    ServingOverloadError,
+    ServingStoppedError,
+    ServingTimeoutError,
+)
+
+#: Transient read errors the sweep retries (mirror of storage/atomic.py:
+#: the engine layer must not import the storage plane).
+_TRANSIENT_ERRNOS = frozenset({errno.EIO, errno.EINTR})
 
 
 @dataclass(frozen=True)
 class ServingConfig:
-    """Admission-batching knobs.
+    """Admission-batching and overload-resilience knobs.
 
-    ``max_batch_size`` caps how many requests one sweep may serve;
-    ``max_hold_seconds`` bounds how long the first request in a batch
-    may wait for company. The window trades a little p50 latency for
-    throughput: under load the queue fills the batch before the hold
-    expires and the hold never binds; at low traffic a lone request
-    pays at most the hold. ``max_hold_seconds=0`` disables holding
-    (each batch is whatever has already queued up).
+    **Batching.** ``max_batch_size`` caps how many requests one sweep
+    may serve; ``max_hold_seconds`` bounds how long the first request in
+    a batch may wait for company (``0`` disables holding).
+    ``dedup_picks`` shares one picker selection among batch-mates with
+    the same query and resolved budget — answers stay bit-identical to
+    ``PS3.query`` for that selection; identical concurrent requests just
+    get the *same* sample rather than independent ones (set ``False``
+    when clients average repeats to tighten estimates).
 
-    ``dedup_picks`` is the group-commit move at the *pick* layer:
-    requests in one admission batch with the same query and the same
-    resolved budget share a single picker selection (and therefore a
-    single answer block and scatter) instead of each paying the
-    pick's model-scoring cost. Every answer is still bit-identical to
-    what ``PS3.query`` returns for that selection; what changes is that
-    identical concurrent requests get the *same* sample rather than
-    independent ones. Set it to ``False`` when each client must draw an
-    independent selection (e.g. when averaging repeated requests to
-    tighten an estimate).
+    **Admission control.** ``max_queue_depth`` bounds the admission
+    queue (``None`` = unbounded, the pre-resilience behavior). At
+    capacity, ``submit`` sheds the request with
+    :class:`ServingOverloadError`. ``shed_policy`` chooses what happens
+    *before* that hard backstop: ``"reject"`` does nothing (plain
+    bounded queue), ``"degrade"`` turns on the budget-degradation
+    controller — as queue pressure rises, each request's resolved
+    sampling budget is scaled down (linearly in pressure, floored at
+    ``min_degraded_fraction`` of the resolved budget), so the system
+    sheds *accuracy* instead of requests and the queue drains faster.
+
+    **Deadlines.** ``default_deadline_seconds`` applies to requests that
+    do not pass their own ``deadline_seconds``. An expired request fails
+    fast with :class:`ServingTimeoutError` at admission or pick time
+    rather than wasting sweep work, and the admission window never holds
+    a batch past its oldest member's deadline.
+
+    **Supervision.** The worker loop is restarted after a crash up to
+    ``max_worker_restarts`` times per :meth:`~ServingFrontEnd.start`;
+    past the cap the front end fails permanently (pending futures are
+    failed, new submits raise :class:`ServingStoppedError`). Transient
+    sweep failures retry up to ``sweep_retries`` times with exponential
+    backoff starting at ``retry_backoff_seconds``.
     """
 
     max_batch_size: int = 32
     max_hold_seconds: float = 0.002
     dedup_picks: bool = True
+    max_queue_depth: int | None = 1024
+    shed_policy: str = "reject"
+    default_deadline_seconds: float | None = None
+    min_degraded_fraction: float = 0.25
+    max_worker_restarts: int = 2
+    sweep_retries: int = 2
+    retry_backoff_seconds: float = 0.005
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ConfigError("max_batch_size must be >= 1")
         if self.max_hold_seconds < 0:
             raise ConfigError("max_hold_seconds must be >= 0")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigError("max_queue_depth must be >= 1 (or None)")
+        if self.shed_policy not in ("reject", "degrade"):
+            raise ConfigError('shed_policy must be "reject" or "degrade"')
+        if (
+            self.default_deadline_seconds is not None
+            and self.default_deadline_seconds <= 0
+        ):
+            raise ConfigError("default_deadline_seconds must be > 0 (or None)")
+        if not 0.0 < self.min_degraded_fraction <= 1.0:
+            raise ConfigError("min_degraded_fraction must be in (0, 1]")
+        if self.max_worker_restarts < 0:
+            raise ConfigError("max_worker_restarts must be >= 0")
+        if self.sweep_retries < 0:
+            raise ConfigError("sweep_retries must be >= 0")
+        if self.retry_backoff_seconds < 0:
+            raise ConfigError("retry_backoff_seconds must be >= 0")
 
 
 @dataclass
 class ServingStats:
-    """Observable counters for one front end (monotonic, not reset)."""
+    """Observable counters for one front end (monotonic, not reset).
+
+    ``queue_depth`` is the one gauge: requests currently admitted but
+    not yet dequeued by the worker (``queue_peak`` is its high-water
+    mark). ``shed`` counts requests rejected at admission by the
+    bounded queue; ``degraded`` counts requests answered below their
+    resolved budget by the degradation controller; ``deadline_misses``
+    counts requests that expired before an answer (at admission, at
+    pick time, or in a blocking ``query`` wait); ``cancelled_skips``
+    counts futures the client cancelled before the worker could
+    complete them; ``worker_restarts`` counts supervisor restarts after
+    a worker crash; ``sweep_retries`` counts transient sweep failures
+    that were retried.
+    """
 
     queries: int = 0
     batches: int = 0
@@ -101,10 +187,38 @@ class ServingStats:
     largest_batch: int = 0
     failures: int = 0
     pick_dedup_hits: int = 0  # requests that reused a batch-mate's pick
+    queue_depth: int = 0  # gauge: currently queued (admitted, not dequeued)
+    queue_peak: int = 0
+    shed: int = 0
+    degraded: int = 0
+    deadline_misses: int = 0
+    cancelled_skips: int = 0
+    worker_restarts: int = 0
+    sweep_retries: int = 0
 
     @property
     def mean_batch_size(self) -> float:
         return self.queries / self.batches if self.batches else 0.0
+
+
+@dataclass(frozen=True)
+class ServingHealth:
+    """One consistent snapshot of a front end's liveness.
+
+    ``running`` — started, not stopping, not permanently failed;
+    ``worker_alive`` — the worker thread exists and is alive;
+    ``healthy`` — running with a live worker and restart headroom.
+    ``last_error`` carries the most recent worker crash (``repr``), if
+    any.
+    """
+
+    running: bool
+    worker_alive: bool
+    healthy: bool
+    queue_depth: int
+    worker_restarts: int
+    restarts_remaining: int
+    last_error: str | None
 
 
 @dataclass
@@ -114,7 +228,13 @@ class _Request:
     query: Query
     budget_partitions: int | None
     budget_fraction: float | None
+    deadline: float | None = None  # absolute time.monotonic(), None = never
     future: Future = field(default_factory=Future)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
 
 
 #: Queue sentinel: the worker drains, answers what it holds, and exits.
@@ -170,16 +290,27 @@ class ServingFrontEnd:
 
     Per-request failures (unknown columns, invalid budgets at pick time)
     fail only that request's future; the worker and the rest of the
-    batch keep going.
+    batch keep going. A worker *crash* fails the in-flight futures and
+    restarts the loop (capped; see :meth:`health`) — no future is ever
+    stranded. ``faults`` accepts a
+    :class:`~repro.engine.faults.ServingFaults` hook set for
+    deterministic fault-injection tests.
     """
 
-    def __init__(self, system, config: ServingConfig | None = None) -> None:
+    def __init__(
+        self, system, config: ServingConfig | None = None, *, faults=None
+    ) -> None:
         self.system = system
         self.config = config or ServingConfig()
         self.stats = ServingStats()
+        self._faults = faults
         self._queue: queue.Queue = queue.Queue()
         self._worker: threading.Thread | None = None
         self._stopping = False
+        self._failed = False
+        self._crashes = 0  # worker crashes since start() (not monotonic)
+        self._last_error: BaseException | None = None
+        self._inflight: list[_Request] = []  # worker-thread only
         self._lifecycle = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
@@ -189,8 +320,12 @@ class ServingFrontEnd:
             if self._worker is not None:
                 raise ConfigError("serving front end already started")
             self._stopping = False
+            self._failed = False
+            self._crashes = 0
+            self._last_error = None
+            self._inflight = []
             self._worker = threading.Thread(
-                target=self._run, name="ps3-serving", daemon=True
+                target=self._supervise, name="ps3-serving", daemon=True
             )
             self._worker.start()
         return self
@@ -206,17 +341,23 @@ class ServingFrontEnd:
         worker.join()
         with self._lifecycle:
             self._worker = None
-        # Anything admitted after the sentinel was enqueued would strand
-        # its future; fail it loudly instead.
+        # Anything admitted after the sentinel was enqueued (or left
+        # behind by a permanently-failed worker) would strand its
+        # future; fail it loudly instead.
+        self._drain_queue(
+            ServingStoppedError("front end stopped before answering")
+        )
+
+    def _drain_queue(self, error: ServingError) -> None:
         while True:
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
-                break
-            if item is not _SHUTDOWN:
-                item.future.set_exception(
-                    ServingStoppedError("front end stopped before answering")
-                )
+                return
+            if item is _SHUTDOWN:
+                continue
+            self._note_dequeue()
+            self._fail_request(item, error)
 
     def __enter__(self) -> ServingFrontEnd:
         # ``PS3.serve()`` returns an already-started front end; entering
@@ -230,6 +371,30 @@ class ServingFrontEnd:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    def health(self) -> ServingHealth:
+        """A consistent liveness snapshot (see :class:`ServingHealth`)."""
+        with self._lifecycle:
+            worker_alive = self._worker is not None and self._worker.is_alive()
+            running = (
+                self._worker is not None
+                and not self._stopping
+                and not self._failed
+            )
+            remaining = max(0, self.config.max_worker_restarts - self._crashes)
+            return ServingHealth(
+                running=running,
+                worker_alive=worker_alive,
+                healthy=running and worker_alive,
+                queue_depth=self.stats.queue_depth,
+                worker_restarts=self.stats.worker_restarts,
+                restarts_remaining=remaining,
+                last_error=(
+                    repr(self._last_error)
+                    if self._last_error is not None
+                    else None
+                ),
+            )
+
     # -- client API ----------------------------------------------------------
 
     def submit(
@@ -237,6 +402,7 @@ class ServingFrontEnd:
         query: Query,
         budget_partitions: int | None = None,
         budget_fraction: float | None = None,
+        deadline_seconds: float | None = None,
     ) -> Future:
         """Enqueue a query; returns a ``Future[ApproximateAnswer]``.
 
@@ -244,6 +410,9 @@ class ServingFrontEnd:
         fraction) raise immediately in the caller; the partition count
         itself is resolved at pick time against the table the batch
         snapshots, so appends between submit and answer are honoured.
+        ``deadline_seconds`` (or the config default) bounds how long the
+        request may wait for an answer; a full admission queue sheds the
+        request with :class:`ServingOverloadError`.
         """
         if (budget_partitions is None) == (budget_fraction is None):
             raise ConfigError(
@@ -253,12 +422,42 @@ class ServingFrontEnd:
             raise ConfigError("budget_fraction must be in (0, 1]")
         if budget_partitions is not None and budget_partitions < 1:
             raise ConfigError("budget_partitions must be >= 1")
+        if deadline_seconds is None:
+            deadline_seconds = self.config.default_deadline_seconds
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            # Fail fast: the client's remaining time is already gone.
+            raise ServingTimeoutError(
+                f"deadline_seconds={deadline_seconds} already expired at submit"
+            )
+        deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
         with self._lifecycle:
+            if self._failed:
+                raise ServingStoppedError(
+                    "serving worker failed permanently "
+                    f"(last error: {self._last_error!r})"
+                )
             if self._worker is None or self._stopping:
                 raise ServingStoppedError(
                     "serving front end is not running (call start())"
                 )
-            request = _Request(query, budget_partitions, budget_fraction)
+            limit = self.config.max_queue_depth
+            if limit is not None and self.stats.queue_depth >= limit:
+                self.stats.shed += 1
+                raise ServingOverloadError(
+                    f"admission queue full ({limit} requests); "
+                    "request shed"
+                )
+            request = _Request(
+                query, budget_partitions, budget_fraction, deadline
+            )
+            self.stats.queue_depth += 1
+            self.stats.queue_peak = max(
+                self.stats.queue_peak, self.stats.queue_depth
+            )
             self._queue.put(request)
         return request.future
 
@@ -267,42 +466,153 @@ class ServingFrontEnd:
         query: Query,
         budget_partitions: int | None = None,
         budget_fraction: float | None = None,
+        deadline_seconds: float | None = None,
     ):
-        """Blocking submit: the ``ApproximateAnswer`` (or the failure)."""
-        return self.submit(query, budget_partitions, budget_fraction).result()
+        """Blocking submit: the ``ApproximateAnswer`` (or the failure).
+
+        Honors the request deadline (explicit or config default) on the
+        *wait* as well: if the worker is wedged past the deadline, the
+        call raises :class:`ServingTimeoutError` instead of blocking
+        forever (the future is cancelled so the worker skips it). With
+        no deadline, a worker crash still fails the future via the
+        supervisor, so the wait can never hang on a dead worker.
+        """
+        if deadline_seconds is None:
+            deadline_seconds = self.config.default_deadline_seconds
+        deadline = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        future = self.submit(
+            query,
+            budget_partitions,
+            budget_fraction,
+            deadline_seconds=deadline_seconds,
+        )
+        if deadline is None:
+            return future.result()
+        try:
+            return future.result(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+        except FutureTimeoutError:
+            future.cancel()
+            with self._lifecycle:
+                self.stats.deadline_misses += 1
+            raise ServingTimeoutError(
+                f"request missed its {deadline_seconds}s deadline"
+            ) from None
 
     async def submit_async(
         self,
         query: Query,
         budget_partitions: int | None = None,
         budget_fraction: float | None = None,
+        deadline_seconds: float | None = None,
     ):
         """Awaitable submit for asyncio servers (no executor thread hop)."""
-        future = self.submit(query, budget_partitions, budget_fraction)
+        future = self.submit(
+            query,
+            budget_partitions,
+            budget_fraction,
+            deadline_seconds=deadline_seconds,
+        )
         return await asyncio.wrap_future(future)
 
     # -- worker --------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Run the batch loop; fail in-flight futures and restart on crash.
+
+        A worker crash (anything escaping :meth:`_run`, including the
+        ``BaseException``-derived injected crashes) must never strand a
+        future: every request of the batch being processed is failed
+        with a :class:`ServingError` carrying the crash, then the loop
+        restarts — up to ``max_worker_restarts`` times, after which the
+        front end fails permanently and drains its queue.
+        """
+        while True:
+            try:
+                self._run()
+                return  # clean shutdown via sentinel
+            except BaseException as exc:  # noqa: BLE001 - supervisor
+                crash = ServingError(f"serving worker crashed: {exc!r}")
+                crash.__cause__ = exc
+                inflight, self._inflight = self._inflight, []
+                for request in inflight:
+                    if not request.future.done():
+                        self.stats.failures += 1
+                    self._fail_request(request, crash)
+                with self._lifecycle:
+                    self._last_error = exc
+                    self._crashes += 1
+                    give_up = self._crashes > self.config.max_worker_restarts
+                    if not give_up:
+                        self.stats.worker_restarts += 1
+                    else:
+                        self._failed = True
+                if give_up:
+                    self._drain_queue(
+                        ServingStoppedError(
+                            "serving worker failed permanently after "
+                            f"{self.stats.worker_restarts} restarts "
+                            f"(last error: {exc!r})"
+                        )
+                    )
+                    return
 
     def _run(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
+            self._note_dequeue()
+            self._inflight = [item]
             batch, saw_shutdown = self._admit(item)
             self._process(batch)
+            self._inflight = []
             if saw_shutdown:
                 return
+
+    def _note_dequeue(self) -> None:
+        with self._lifecycle:
+            self.stats.queue_depth -= 1
+
+    @staticmethod
+    def _pad_end(request: _Request, now: float) -> float:
+        """Latest moment the admission window may hold this request.
+
+        A deadlined request spends at most *half* its remaining time
+        waiting for batch-mates — the other half is reserved for the
+        pick/sweep/scatter itself, so stopping the padding still leaves
+        time to answer (holding right up to the deadline would
+        guarantee a pick-time expiry).
+        """
+        if request.deadline is None:
+            return math.inf
+        return now + 0.5 * (request.deadline - now)
 
     def _admit(self, first: _Request) -> tuple[list[_Request], bool]:
         """Collect one micro-batch starting from ``first``.
 
         Holds the window open until ``max_batch_size`` requests are in
-        or ``max_hold_seconds`` have passed since the first arrival.
+        or ``max_hold_seconds`` have passed since the first arrival —
+        but stops padding a batch whose oldest request is near its
+        deadline (see :meth:`_pad_end`): it sweeps immediately rather
+        than holding for company it cannot wait for.
         """
         batch = [first]
-        deadline = time.monotonic() + self.config.max_hold_seconds
+        now = time.monotonic()
+        window_end = now + self.config.max_hold_seconds
+        earliest_pad = self._pad_end(first, now)
         while len(batch) < self.config.max_batch_size:
-            remaining = deadline - time.monotonic()
+            now = time.monotonic()
+            if earliest_pad <= now:
+                # The oldest deadline binds: stop padding (even the
+                # free-looking scoop below adds sweep work), sweep now.
+                break
+            remaining = min(window_end, earliest_pad) - now
             try:
                 if remaining <= 0:
                     item = self._queue.get_nowait()
@@ -312,15 +622,78 @@ class ServingFrontEnd:
                 break
             if item is _SHUTDOWN:
                 return batch, True
+            self._note_dequeue()
             batch.append(item)
+            self._inflight.append(item)
+            earliest_pad = min(
+                earliest_pad, self._pad_end(item, time.monotonic())
+            )
         return batch, False
+
+    # -- future completion (cancellation-safe) -------------------------------
+
+    def _fail_request(self, request: _Request, exc: BaseException) -> None:
+        """Fail a future unless the client already cancelled/resolved it."""
+        future = request.future
+        if future.cancelled():
+            self.stats.cancelled_skips += 1
+            return
+        if future.done():
+            return
+        try:
+            future.set_exception(exc)
+        except InvalidStateError:
+            # Lost the race with a client-side cancel; never kill the
+            # worker over a request nobody is waiting for.
+            self.stats.cancelled_skips += 1
+
+    def _complete_request(self, request: _Request, answer) -> None:
+        future = request.future
+        if future.cancelled():
+            self.stats.cancelled_skips += 1
+            return
+        try:
+            future.set_result(answer)
+        except InvalidStateError:
+            self.stats.cancelled_skips += 1
+
+    # -- batch processing ----------------------------------------------------
+
+    def _degraded_budget(self, budget: int, pressure: float) -> int:
+        """Scale a resolved budget down under queue pressure.
+
+        Linear controller: at zero pressure the budget is untouched; at
+        full pressure it is ``min_degraded_fraction`` of the resolved
+        budget (never below one partition). Active only under the
+        ``"degrade"`` shed policy.
+        """
+        if pressure <= 0.0:
+            return budget
+        factor = 1.0 - pressure * (1.0 - self.config.min_degraded_fraction)
+        return max(1, min(budget, int(round(budget * factor))))
+
+    def _pressure(self) -> float:
+        if (
+            self.config.shed_policy != "degrade"
+            or self.config.max_queue_depth is None
+        ):
+            return 0.0
+        return min(
+            1.0, max(0, self.stats.queue_depth) / self.config.max_queue_depth
+        )
 
     def _process(self, batch: list[_Request]) -> None:
         # Imported lazily: api sits above engine in the layering; only
         # the answer container is needed here.
         from repro.api import ApproximateAnswer
 
+        faults = self._faults
+        if faults is not None:
+            faults.on_batch()
         system = self.system
+        # Queue pressure is sampled once per batch, so batch-mates share
+        # one degradation factor and pick dedup keeps working.
+        pressure = self._pressure()
         # Pick under the system's state lock: selections see a
         # consistent (table, statistics, picker) generation, and the
         # snapshot table keeps this batch's execution consistent even if
@@ -329,15 +702,32 @@ class ServingFrontEnd:
         with system._state_lock:
             ptable = system.ptable
             num_partitions = ptable.num_partitions
-            picked: list[tuple[_Request, int, object]] = []
+            picked: list[tuple[_Request, int, int, object]] = []
             pick_cache: dict = {}
             for request in batch:
+                # Marking the future RUNNING wins the race against
+                # client-side cancellation: from here on, set_result/
+                # set_exception cannot hit a cancelled future.
+                if not request.future.set_running_or_notify_cancel():
+                    self.stats.cancelled_skips += 1
+                    continue
+                if request.expired():
+                    self.stats.deadline_misses += 1
+                    self._fail_request(
+                        request,
+                        ServingTimeoutError(
+                            "request expired before pick; failing fast "
+                            "instead of sweeping"
+                        ),
+                    )
+                    continue
                 try:
                     budget = system._resolve_budget(
                         request.budget_partitions, request.budget_fraction
                     )
+                    effective = self._degraded_budget(budget, pressure)
                     key = (
-                        (request.query, budget)
+                        (request.query, effective)
                         if self.config.dedup_picks
                         else None
                     )
@@ -346,17 +736,24 @@ class ServingFrontEnd:
                     )
                     if selection is None:
                         selection = system.picker.select(
-                            request.query, budget
+                            request.query, effective
                         )
                         if key is not None:
                             pick_cache[key] = selection
                     else:
                         self.stats.pick_dedup_hits += 1
-                except BaseException as exc:  # noqa: BLE001 - forwarded
+                except Exception as exc:  # noqa: BLE001 - forwarded
+                    # Ordinary per-request failures (bad column, bad
+                    # budget, injected pick poison) fail only this
+                    # future. BaseException-grade crashes escape to the
+                    # supervisor: that is a worker death, not a request
+                    # bug.
                     self.stats.failures += 1
-                    request.future.set_exception(exc)
+                    self._fail_request(request, exc)
                 else:
-                    picked.append((request, budget, selection))
+                    if effective < budget:
+                        self.stats.degraded += 1
+                    picked.append((request, budget, effective, selection))
         self.stats.batches += 1
         self.stats.queries += len(batch)
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
@@ -364,23 +761,64 @@ class ServingFrontEnd:
             self.stats.batched_queries += len(batch)
         if not picked:
             return
-        try:
-            finals = answer_selections(
-                ptable,
-                [(req.query, sel.selection) for req, __, sel in picked],
-            )
-        except BaseException as exc:  # noqa: BLE001 - forwarded per future
-            self.stats.failures += len(picked)
-            for request, __, __sel in picked:
-                request.future.set_exception(exc)
-            return
-        for (request, budget, selection), groups in zip(picked, finals):
-            request.future.set_result(
+        finals = self._sweep_with_retry(ptable, picked)
+        if finals is None:
+            return  # every future already failed
+        for (request, budget, effective, selection), groups in zip(
+            picked, finals
+        ):
+            if faults is not None:
+                faults.on_scatter()
+            self._complete_request(
+                request,
                 ApproximateAnswer(
                     query=request.query,
                     groups=groups,
                     selection=selection,
                     budget=budget,
                     num_partitions=num_partitions,
-                )
+                    effective_budget=effective,
+                    degraded=effective < budget,
+                ),
             )
+
+    def _sweep_with_retry(self, ptable, picked):
+        """One batch sweep, retrying transient failures with backoff.
+
+        Transient = ``EIO``/``EINTR`` (what an mmap-backed read surfaces
+        on a sick disk) or :class:`ExecutionError` — retried up to
+        ``sweep_retries`` times with doubling, capped backoff, mirroring
+        ``storage/atomic.py``'s read retry. Any other failure (or
+        exhausted retries) fails every future of the batch — never the
+        worker. Returns the finals, or ``None`` after failing the batch.
+        """
+        pairs = [(req.query, sel.selection) for req, __, __e, sel in picked]
+        delay = self.config.retry_backoff_seconds
+        max_delay = max(delay, 0.1)
+        retries = self.config.sweep_retries
+        for attempt in range(retries + 1):
+            try:
+                if self._faults is not None:
+                    self._faults.on_sweep()
+                return answer_selections(ptable, pairs)
+            except (OSError, ExecutionError) as exc:
+                transient = (
+                    isinstance(exc, ExecutionError)
+                    or exc.errno in _TRANSIENT_ERRNOS
+                )
+                if not transient or attempt == retries:
+                    self._fail_batch(picked, exc)
+                    return None
+                self.stats.sweep_retries += 1
+                if delay:
+                    time.sleep(delay)
+                    delay = min(delay * 2, max_delay)
+            except Exception as exc:  # noqa: BLE001 - forwarded per future
+                self._fail_batch(picked, exc)
+                return None
+        return None  # pragma: no cover - loop always returns or fails
+
+    def _fail_batch(self, picked, exc: BaseException) -> None:
+        self.stats.failures += len(picked)
+        for request, __, __e, __sel in picked:
+            self._fail_request(request, exc)

@@ -32,11 +32,45 @@ class ConfigError(ReproError):
     """An invalid configuration value was supplied."""
 
 
-class ServingStoppedError(ReproError):
+class ServingError(ReproError):
+    """Base class for serving-plane failures.
+
+    Catch this to handle any way a request submitted to a
+    :class:`~repro.engine.serving.ServingFrontEnd` can fail for reasons
+    other than the query itself (overload, deadline, worker death,
+    shutdown). Per-request query errors (bad column, bad budget) keep
+    their own types.
+    """
+
+
+class ServingStoppedError(ServingError):
     """A request was submitted to (or stranded in) a stopped front end.
 
     Futures still queued when :meth:`ServingFrontEnd.stop` drains the
     admission queue fail with this error rather than hanging forever.
+    Also raised when the serving worker has crashed past its restart
+    cap and the front end has permanently failed.
+    """
+
+
+class ServingOverloadError(ServingError):
+    """A request was shed at admission because the queue was full.
+
+    Raised by ``submit``/``query`` when the bounded admission queue
+    (``ServingConfig.max_queue_depth``) is at capacity. Under the
+    ``"degrade"`` shed policy the controller first shrinks sampling
+    budgets to drain faster; this error is the hard backstop when even
+    degraded service cannot keep up.
+    """
+
+
+class ServingTimeoutError(ServingError):
+    """A request missed its deadline before an answer was produced.
+
+    Raised when a request is already expired at admission or pick time
+    (failing fast instead of wasting a sweep on it), or when a blocking
+    ``query`` call's wait outlives the deadline (e.g. the worker is
+    wedged mid-batch).
     """
 
 

@@ -112,6 +112,20 @@ def test_perf_bench_main_path(path, tmp_path, monkeypatch):
             assert row["concurrency"] >= 1
             assert row["mean_batch"] > 0.0
             assert row["serving_qps"] > 0.0 and row["sequential_qps"] > 0.0
+        # The overload scenario must keep reporting all three admission
+        # policies with shed/degraded accounting that adds up. (Whether
+        # the bound actually bites is a real-scale claim asserted in the
+        # bench's own test_perf_serving, not on a 3-partition table.)
+        overload = {row["policy"]: row for row in persisted["overload"]}
+        assert set(overload) == {"off", "reject", "degrade"}
+        for row in overload.values():
+            assert row["answered"] + row["shed"] == row["offered"]
+            assert 0.0 <= row["shed_rate"] <= 1.0
+            assert 0.0 <= row["degraded_fraction"] <= 1.0
+            assert row["p50_ms"] <= row["p99_ms"]
+            assert row["queue_peak"] >= 0
+        assert overload["off"]["shed"] == 0
+        assert overload["reject"]["degraded"] == 0
     if bench_name == "perf_sketch_plane":
         # Build and cold-start claims are all parity-gated; the flag,
         # the three cold-start timings, and the bytes-touched/RSS

@@ -97,6 +97,24 @@ def test_killpoint_sweep_is_a_named_tier1_gate(jobs):
     assert '-m "not slow"' in sweep[0]
 
 
+def test_serving_fault_sweep_is_a_named_tier1_gate(jobs):
+    """The serving-resilience sweep runs as its own step in the fast gate.
+
+    The fast subset (`-m "not slow"`) of
+    tests/engine/test_serving_faults.py must be invoked explicitly, so an
+    overload-resilience regression is its own red gate; the exhaustive
+    enumerations ride the slow job's blanket `-m "slow"` run.
+    """
+    lines = _run_lines(jobs["tier-1"])
+    sweep = [
+        line
+        for line in lines
+        if "tests/engine/test_serving_faults.py" in line
+    ]
+    assert sweep, "tier-1 lost its explicit serving fault sweep step"
+    assert '-m "not slow"' in sweep[0]
+
+
 def test_every_python_setup_uses_pip_caching(jobs):
     for name, job in jobs.items():
         setups = [

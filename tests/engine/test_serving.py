@@ -190,10 +190,29 @@ class TestServingConfig:
     def test_defaults_valid(self):
         config = ServingConfig()
         assert config.max_batch_size >= 1
+        # The resilience defaults: bounded queue, plain reject, no
+        # deadline, restart headroom, transient-sweep retries.
+        assert config.max_queue_depth is not None
+        assert config.shed_policy == "reject"
+        assert config.default_deadline_seconds is None
+        assert config.max_worker_restarts >= 1
+        assert config.sweep_retries >= 1
 
     @pytest.mark.parametrize(
         "kwargs",
-        [{"max_batch_size": 0}, {"max_hold_seconds": -0.1}],
+        [
+            {"max_batch_size": 0},
+            {"max_hold_seconds": -0.1},
+            {"max_queue_depth": 0},
+            {"shed_policy": "drop"},
+            {"default_deadline_seconds": 0.0},
+            {"default_deadline_seconds": -1.0},
+            {"min_degraded_fraction": 0.0},
+            {"min_degraded_fraction": 1.5},
+            {"max_worker_restarts": -1},
+            {"sweep_retries": -1},
+            {"retry_backoff_seconds": -0.01},
+        ],
     )
     def test_rejects_bad_knobs(self, kwargs):
         with pytest.raises(ConfigError):
@@ -380,6 +399,51 @@ class TestServingFrontEnd:
 
         with pytest.raises(NotFittedError):
             PS3(ptable, spec.workload()).serve()
+
+    def test_undegraded_answers_report_full_budget(self, served_system):
+        """Outside the degrade path, the resolved budget is what ran —
+        and the answer says so (the degradation contract's null case)."""
+        system, test = served_system
+        with system.serve() as front:
+            served = front.query(test[0], budget_partitions=3)
+        direct = system.query(test[0], budget_partitions=3)
+        for answer in (served, direct):
+            assert answer.degraded is False
+            assert answer.effective_budget == answer.budget == 3
+
+    def test_health_snapshot_lifecycle(self, served_system):
+        system, test = served_system
+        front = system.serve()
+        try:
+            health = front.health()
+            assert health.running and health.worker_alive and health.healthy
+            assert health.queue_depth == 0
+            assert health.worker_restarts == 0
+            assert health.restarts_remaining == (
+                front.config.max_worker_restarts
+            )
+            assert health.last_error is None
+            front.query(test[0], budget_partitions=2)
+        finally:
+            front.stop()
+        health = front.health()
+        assert not health.running
+        assert not health.healthy
+
+    def test_queue_gauge_returns_to_zero(self, served_system):
+        system, test = served_system
+        config = ServingConfig(max_batch_size=8, max_hold_seconds=0.2)
+        with system.serve(config) as front:
+            futures = [
+                front.submit(test[i % len(test)], budget_fraction=0.4)
+                for i in range(6)
+            ]
+            for future in futures:
+                future.result(timeout=30)
+        assert front.stats.queue_depth == 0
+        assert front.stats.queue_peak >= 1
+        assert front.stats.shed == 0
+        assert front.stats.deadline_misses == 0
 
 
 class TestCacheMemoizationRaces:

@@ -1,0 +1,456 @@
+"""Serving-path fault injection: enumerate every fault point.
+
+The storage plane proves its crash-safety by killing every filesystem
+op once (`tests/storage/test_killpoints.py`); this suite is the same
+discipline on the serving plane. For every injectable fault point —
+poisoned pick, worker crash at pick, transient sweep EIO, exhausted
+sweep retries, crash mid-scatter (every index), crash at batch start,
+a permanently crashing worker, a client-cancelled future mid-batch —
+it asserts the three isolation invariants of the front end:
+
+1. a poisoned request fails only its *own* future;
+2. a worker crash never strands batch-mates — every future completes
+   (answered or failed), none hangs;
+3. after recovery (restart or retry), answers are bit-identical to the
+   sequential ``PS3.query`` combine walk for the same selections.
+
+The fast subset runs as a named tier-1 CI step; the exhaustive
+batch-size × fault-index enumeration rides the ``slow`` job.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api import PS3, _selection_groups
+from repro.datasets.registry import get_dataset
+from repro.engine.faults import (
+    FaultyPicker,
+    ServingFaults,
+    SimulatedWorkerCrash,
+)
+from repro.engine.serving import ServingConfig, ServingFrontEnd
+from repro.errors import (
+    ExecutionError,
+    ServingError,
+    ServingStoppedError,
+    ServingTimeoutError,
+)
+from repro.workload import QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def served_system():
+    """A small fitted system shared by the fault sweeps (module-scoped)."""
+    spec = get_dataset("kdd")
+    ptable = spec.build(2400, 10, seed=11)
+    workload = spec.workload()
+    train, test = QueryGenerator(
+        workload, ptable.table, seed=9
+    ).train_test_split(10, 4)
+    return PS3(ptable, workload).fit(train), test
+
+
+def _assert_matches_sequential(system, answer):
+    """Recompute the answer from its own selection via the sequential
+    plane; the served answer must match it bit for bit."""
+    sequential = _selection_groups(
+        system.ptable, answer.query, answer.selection.selection, True
+    )
+    assert list(answer.groups.keys()) == list(sequential.keys())
+    for key in sequential:
+        assert answer.groups[key].tobytes() == sequential[key].tobytes()
+
+
+@contextmanager
+def poisoned_picker(system, **faults):
+    """Temporarily wrap the fitted picker in a FaultyPicker."""
+    original = system._picker
+    system._picker = FaultyPicker(original, **faults)
+    try:
+        yield system._picker
+    finally:
+        system._picker = original
+
+
+#: A batch-forming config: long hold, so a burst of submits lands in
+#: one deterministic batch that closes when it reaches max_batch_size.
+def _batch_config(size, **kw):
+    return ServingConfig(max_batch_size=size, max_hold_seconds=0.5, **kw)
+
+
+class TestPoisonedPick:
+    """Fault point: picker.select raises for one request."""
+
+    @pytest.mark.parametrize("poison", [0, 1, 3])
+    def test_fails_only_its_own_future(self, served_system, poison):
+        system, test = served_system
+        config = _batch_config(4, dedup_picks=False)
+        with poisoned_picker(system, fail_at_pick=poison):
+            with ServingFrontEnd(system, config) as front:
+                futures = [
+                    front.submit(test[i], budget_partitions=3)
+                    for i in range(4)
+                ]
+                for i, future in enumerate(futures):
+                    if i == poison:
+                        with pytest.raises(ExecutionError):
+                            future.result(timeout=30)
+                    else:
+                        _assert_matches_sequential(
+                            system, future.result(timeout=30)
+                        )
+        assert front.stats.failures == 1
+        assert front.stats.worker_restarts == 0  # a request bug, not a crash
+
+    @pytest.mark.slow
+    def test_exhaustive_over_every_pick_index(self, served_system):
+        for size in (1, 2, 3, 4):
+            for poison in range(size):
+                system, test = served_system
+                config = _batch_config(size, dedup_picks=False)
+                with poisoned_picker(system, fail_at_pick=poison):
+                    with ServingFrontEnd(system, config) as front:
+                        futures = [
+                            front.submit(test[i % len(test)], budget_partitions=3)
+                            for i in range(size)
+                        ]
+                        for i, future in enumerate(futures):
+                            if i == poison:
+                                with pytest.raises(ExecutionError):
+                                    future.result(timeout=30)
+                            else:
+                                _assert_matches_sequential(
+                                    system, future.result(timeout=30)
+                                )
+                assert front.stats.failures == 1, (size, poison)
+
+    def test_crash_at_pick_fails_batch_restarts_worker(self, served_system):
+        system, test = served_system
+        config = _batch_config(3, dedup_picks=False)
+        with poisoned_picker(system, crash_at_pick=1):
+            with ServingFrontEnd(system, config) as front:
+                futures = [
+                    front.submit(test[i], budget_partitions=3)
+                    for i in range(3)
+                ]
+                # The crash escapes the per-request guard (it is a
+                # worker death, not a request bug): every in-flight
+                # future fails, none strands.
+                for future in futures:
+                    with pytest.raises(ServingError):
+                        future.result(timeout=30)
+                # ... and the restarted worker serves new requests,
+                # bit-identical (crash_at_pick=1 already consumed).
+                answer = front.query(test[0], budget_partitions=3)
+                _assert_matches_sequential(system, answer)
+        assert front.stats.worker_restarts == 1
+        assert front.health().last_error is not None
+
+
+class TestSweepRetry:
+    """Fault point: the batch sweep raises a transient error."""
+
+    def test_transient_eio_retried_bit_identical(self, served_system):
+        system, test = served_system
+        faults = ServingFaults(fail_sweeps=2)
+        config = _batch_config(
+            3, sweep_retries=2, retry_backoff_seconds=0.0
+        )
+        with ServingFrontEnd(system, config, faults=faults) as front:
+            futures = [
+                front.submit(test[i], budget_partitions=3) for i in range(3)
+            ]
+            for future in futures:
+                _assert_matches_sequential(system, future.result(timeout=30))
+        assert front.stats.sweep_retries == 2
+        assert front.stats.failures == 0
+        assert front.stats.worker_restarts == 0
+        assert faults.sweeps == 3  # two injected failures + the success
+
+    def test_injected_execution_error_retried(self, served_system):
+        system, test = served_system
+        faults = ServingFaults(
+            fail_sweeps=1, sweep_error=lambda: ExecutionError("injected")
+        )
+        config = _batch_config(2, sweep_retries=1, retry_backoff_seconds=0.0)
+        with ServingFrontEnd(system, config, faults=faults) as front:
+            answer = front.query(test[0], budget_partitions=3)
+        _assert_matches_sequential(system, answer)
+        assert front.stats.sweep_retries == 1
+
+    def test_exhausted_retries_fail_batch_not_worker(self, served_system):
+        system, test = served_system
+        faults = ServingFaults(fail_sweeps=3)
+        config = _batch_config(2, sweep_retries=2, retry_backoff_seconds=0.0)
+        with ServingFrontEnd(system, config, faults=faults) as front:
+            futures = [
+                front.submit(test[i], budget_partitions=3) for i in range(2)
+            ]
+            for future in futures:
+                with pytest.raises(OSError):
+                    future.result(timeout=30)
+            # The worker survived (batch failed, not crashed) and the
+            # next batch succeeds once the fault budget is spent.
+            answer = front.query(test[0], budget_partitions=3)
+            _assert_matches_sequential(system, answer)
+        assert front.stats.worker_restarts == 0
+        assert front.stats.failures == 2
+
+    def test_non_transient_oserror_fails_immediately(self, served_system):
+        import errno
+
+        system, test = served_system
+        faults = ServingFaults(
+            fail_sweeps=5,
+            sweep_error=lambda: OSError(errno.ENOENT, "not transient"),
+        )
+        config = _batch_config(1, sweep_retries=3, retry_backoff_seconds=0.0)
+        with ServingFrontEnd(system, config, faults=faults) as front:
+            future = front.submit(test[0], budget_partitions=3)
+            with pytest.raises(OSError):
+                future.result(timeout=30)
+        assert front.stats.sweep_retries == 0  # no retry burned on ENOENT
+        assert faults.sweeps == 1
+
+
+class TestCrashMidScatter:
+    """Fault point: the worker dies between two future completions."""
+
+    def _run_point(self, served_system, size, crash_at):
+        system, test = served_system
+        faults = ServingFaults(crash_at_scatter=crash_at)
+        config = _batch_config(size, dedup_picks=False)
+        with ServingFrontEnd(system, config, faults=faults) as front:
+            futures = [
+                front.submit(test[i % len(test)], budget_partitions=3)
+                for i in range(size)
+            ]
+            for i, future in enumerate(futures):
+                if i < crash_at:
+                    # Completed before the crash: bit-identical answer.
+                    _assert_matches_sequential(
+                        system, future.result(timeout=30)
+                    )
+                else:
+                    # Batch-mates at/after the crash point: failed by
+                    # the supervisor, never stranded.
+                    with pytest.raises(ServingError):
+                        future.result(timeout=30)
+            # Recovery: the restarted worker answers bit-identically.
+            _assert_matches_sequential(
+                system, front.query(test[0], budget_partitions=3)
+            )
+        assert front.stats.worker_restarts == 1, (size, crash_at)
+        assert all(f.done() for f in futures), (size, crash_at)
+
+    @pytest.mark.parametrize("crash_at", [0, 2, 3])
+    def test_fast_points(self, served_system, crash_at):
+        self._run_point(served_system, 4, crash_at)
+
+    @pytest.mark.slow
+    def test_exhaustive_every_scatter_index(self, served_system):
+        for size in (1, 2, 3, 5):
+            for crash_at in range(size):
+                self._run_point(served_system, size, crash_at)
+
+
+class TestWorkerDeath:
+    """Fault point: the worker dies at batch start (and keeps dying)."""
+
+    class _AlwaysCrash(ServingFaults):
+        def on_batch(self) -> None:
+            self.batches += 1
+            raise SimulatedWorkerCrash("injected: worker dies every batch")
+
+    def test_single_crash_restarts_and_recovers(self, served_system):
+        system, test = served_system
+        faults = ServingFaults(crash_at_batch=0)
+        config = _batch_config(2)
+        with ServingFrontEnd(system, config, faults=faults) as front:
+            futures = [
+                front.submit(test[i], budget_partitions=3) for i in range(2)
+            ]
+            for future in futures:
+                with pytest.raises(ServingError):
+                    future.result(timeout=30)
+            health = front.health()
+            assert health.healthy
+            assert health.worker_restarts == 1
+            assert "SimulatedWorkerCrash" in health.last_error
+            _assert_matches_sequential(
+                system, front.query(test[0], budget_partitions=3)
+            )
+
+    def test_restart_cap_fails_permanently(self, served_system):
+        system, test = served_system
+        config = _batch_config(2, max_worker_restarts=1)
+        front = ServingFrontEnd(
+            system, config, faults=self._AlwaysCrash()
+        ).start()
+        try:
+            # Crash 1: restarted. Crash 2: past the cap, permanent.
+            for __ in range(2):
+                future = front.submit(test[0], budget_partitions=3)
+                with pytest.raises(ServingError):
+                    future.result(timeout=30)
+            deadline = time.monotonic() + 10
+            while front.health().running and time.monotonic() < deadline:
+                time.sleep(0.005)
+            health = front.health()
+            assert not health.running
+            assert not health.healthy
+            assert health.restarts_remaining == 0
+            assert front.stats.worker_restarts == 1
+            with pytest.raises(ServingStoppedError):
+                front.submit(test[0], budget_partitions=3)
+        finally:
+            front.stop()
+
+    def test_blocking_query_never_hangs_on_worker_death(self, served_system):
+        """Regression: `query` used to block forever on a dead worker."""
+        system, test = served_system
+        config = _batch_config(1, max_worker_restarts=0)
+        front = ServingFrontEnd(
+            system, config, faults=self._AlwaysCrash()
+        ).start()
+        try:
+            started = time.monotonic()
+            with pytest.raises(ServingError):
+                front.query(test[0], budget_partitions=3)
+            assert time.monotonic() - started < 10
+        finally:
+            front.stop()
+
+    def test_blocking_query_deadline_on_wedged_worker(self, served_system):
+        """A wedged (not dead) worker: the wait honors the deadline."""
+        system, test = served_system
+        faults = ServingFaults(slow_batch_seconds=0.5)
+        with ServingFrontEnd(
+            system, _batch_config(1), faults=faults
+        ) as front:
+            started = time.monotonic()
+            with pytest.raises(ServingTimeoutError):
+                front.query(test[0], budget_partitions=3, deadline_seconds=0.05)
+            assert time.monotonic() - started < 0.4
+        assert front.stats.deadline_misses >= 1
+
+    def test_blocking_query_default_config_deadline(self, served_system):
+        """The config default deadline applies when none is passed."""
+        system, test = served_system
+        faults = ServingFaults(slow_batch_seconds=0.5)
+        config = _batch_config(1, default_deadline_seconds=0.05)
+        with ServingFrontEnd(system, config, faults=faults) as front:
+            with pytest.raises(ServingTimeoutError):
+                front.query(test[0], budget_partitions=3)
+
+
+class TestDeadlines:
+    def test_expired_at_pick_time_fails_fast(self, served_system):
+        system, test = served_system
+        faults = ServingFaults(slow_batch_seconds=0.1)
+        with ServingFrontEnd(
+            system, _batch_config(1), faults=faults
+        ) as front:
+            future = front.submit(
+                test[0], budget_partitions=3, deadline_seconds=0.03
+            )
+            with pytest.raises(ServingTimeoutError):
+                future.result(timeout=30)
+        assert front.stats.deadline_misses >= 1
+
+    def test_submit_rejects_already_expired_deadline(self, served_system):
+        system, test = served_system
+        with ServingFrontEnd(system, _batch_config(2)) as front:
+            with pytest.raises(ServingTimeoutError):
+                front.submit(test[0], budget_partitions=3, deadline_seconds=0.0)
+            with pytest.raises(ServingTimeoutError):
+                front.submit(
+                    test[0], budget_partitions=3, deadline_seconds=-1.0
+                )
+
+    def test_admission_stops_padding_near_deadline(self, served_system):
+        """A lone deadlined request is not held for the full window.
+
+        With a 10s hold and a 0.5s deadline, the old admission loop
+        would hold the batch open well past the deadline; the fix
+        spends at most half the remaining deadline budget padding, so
+        the answer lands with time to spare.
+        """
+        system, test = served_system
+        config = ServingConfig(max_batch_size=32, max_hold_seconds=10.0)
+        with ServingFrontEnd(system, config) as front:
+            started = time.monotonic()
+            answer = front.query(
+                test[0], budget_partitions=3, deadline_seconds=0.5
+            )
+            elapsed = time.monotonic() - started
+        _assert_matches_sequential(system, answer)
+        assert elapsed < 2.0  # nowhere near the 10s hold
+        assert front.stats.deadline_misses == 0
+
+    def test_generous_deadline_answers_normally(self, served_system):
+        system, test = served_system
+        with ServingFrontEnd(system, _batch_config(2)) as front:
+            answer = front.query(
+                test[0], budget_partitions=3, deadline_seconds=30.0
+            )
+        _assert_matches_sequential(system, answer)
+        assert answer.degraded is False
+        assert answer.effective_budget == answer.budget
+
+
+class TestCancelledFutures:
+    """Regression: a client-cancelled future used to make `_process`'s
+    set_result raise InvalidStateError mid-scatter, killing the worker
+    and stranding every batch-mate."""
+
+    def test_cancel_mid_batch_skips_without_killing_worker(
+        self, served_system
+    ):
+        system, test = served_system
+        config = _batch_config(4, dedup_picks=False)
+        with ServingFrontEnd(system, config) as front:
+            f0 = front.submit(test[0], budget_partitions=3)
+            f1 = front.submit(test[1], budget_partitions=3)
+            f2 = front.submit(test[2], budget_partitions=3)
+            assert f1.cancel()  # still pending: the batch is holding
+            f3 = front.submit(test[3], budget_partitions=3)  # closes batch
+            for future in (f0, f2, f3):
+                _assert_matches_sequential(system, future.result(timeout=30))
+            assert f1.cancelled()
+        assert front.stats.cancelled_skips >= 1
+        assert front.stats.worker_restarts == 0
+        assert front.stats.failures == 0
+
+    def test_asyncio_cancellation_mid_batch(self, served_system):
+        import asyncio
+
+        system, test = served_system
+        config = _batch_config(3, dedup_picks=False)
+
+        async def go(front):
+            victim = asyncio.ensure_future(
+                front.submit_async(test[0], budget_partitions=3)
+            )
+            survivor = asyncio.ensure_future(
+                front.submit_async(test[1], budget_partitions=3)
+            )
+            await asyncio.sleep(0)  # let both submits land
+            victim.cancel()
+            closer = asyncio.ensure_future(
+                front.submit_async(test[2], budget_partitions=3)
+            )
+            answers = await asyncio.gather(survivor, closer)
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            return answers
+
+        with ServingFrontEnd(system, config) as front:
+            answers = asyncio.run(go(front))
+        for answer in answers:
+            _assert_matches_sequential(system, answer)
+        assert front.stats.worker_restarts == 0
