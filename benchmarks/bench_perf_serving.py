@@ -65,6 +65,15 @@ OVERLOAD_CLIENTS = 12
 OVERLOAD_QUEUE_DEPTH = 16
 OVERLOAD_POLICIES = ("off", "reject", "degrade")
 
+#: Observability no-op microbench: per-call cost of a *disabled*
+#: registry, asserted in-run against these bounds — "metrics are free
+#: when off" is the obs plane's contract, so the bench gates it like a
+#: parity claim. Bounds are generous (shared CI machines are noisy);
+#: the real cost is tens of nanoseconds per call.
+OBS_MICROBENCH_ITERATIONS = 100_000
+MAX_DISABLED_COUNTER_NS = 2_000.0
+MAX_DISABLED_SPAN_NS = 5_000.0
+
 
 def _overload_config(policy: str) -> ServingConfig:
     if policy == "off":
@@ -228,6 +237,60 @@ def _time_overload(system, streams, policy: str) -> dict:
     }
 
 
+def _obs_overhead() -> dict:
+    """Per-call cost of the obs plane, with the disabled path asserted.
+
+    The disabled fast path is one attribute load and a branch for
+    counters, and a shared null context manager for spans — measured
+    here over ``OBS_MICROBENCH_ITERATIONS`` calls and required to stay
+    under the (deliberately loose) nanosecond bounds above. Enabled
+    costs are reported alongside for scale but not gated.
+    """
+    from repro.obs import MetricsRegistry, trace_span
+
+    iterations = OBS_MICROBENCH_ITERATIONS
+
+    def per_call_ns(target) -> float:
+        started = time.perf_counter()
+        for __ in range(iterations):
+            target()
+        return (time.perf_counter() - started) / iterations * 1e9
+
+    disabled = MetricsRegistry(enabled=False)
+    off_counter = disabled.counter("bench.noop")
+    off_hist = disabled.histogram("bench.noop_lat")
+
+    def off_span() -> None:
+        with trace_span("bench.noop_span", registry=disabled):
+            pass
+
+    enabled = MetricsRegistry()
+    on_counter = enabled.counter("bench.noop")
+    on_hist = enabled.histogram("bench.noop_lat")
+
+    def on_span() -> None:
+        with trace_span("bench.noop_span", registry=enabled):
+            pass
+
+    report = {
+        "iterations": iterations,
+        "disabled_counter_ns": per_call_ns(off_counter.inc),
+        "disabled_histogram_ns": per_call_ns(lambda: off_hist.observe(1e-3)),
+        "disabled_span_ns": per_call_ns(off_span),
+        "enabled_counter_ns": per_call_ns(on_counter.inc),
+        "enabled_histogram_ns": per_call_ns(lambda: on_hist.observe(1e-3)),
+        "enabled_span_ns": per_call_ns(on_span),
+        "max_disabled_counter_ns": MAX_DISABLED_COUNTER_NS,
+        "max_disabled_span_ns": MAX_DISABLED_SPAN_NS,
+    }
+    # Sanity: the disabled registry really recorded nothing.
+    assert off_counter.value == 0 and off_hist.count == 0
+    assert report["disabled_counter_ns"] <= MAX_DISABLED_COUNTER_NS, report
+    assert report["disabled_histogram_ns"] <= MAX_DISABLED_COUNTER_NS, report
+    assert report["disabled_span_ns"] <= MAX_DISABLED_SPAN_NS, report
+    return report
+
+
 def run() -> dict:
     rows = []
     overload_inputs = None
@@ -274,6 +337,7 @@ def run() -> dict:
         _time_overload(overload_system, overload_streams, policy)
         for policy in OVERLOAD_POLICIES
     ]
+    obs = _obs_overhead()
     report = {
         "benchmark": "perf_serving",
         "rows_per_partition": ROWS_PER_PARTITION,
@@ -286,6 +350,7 @@ def run() -> dict:
         "results": rows,
         "overload_queue_depth": OVERLOAD_QUEUE_DEPTH,
         "overload": overload_rows,
+        "obs": obs,
     }
     (results_dir() / "BENCH_perf_serving.json").write_text(
         json.dumps(report, indent=2) + "\n"
@@ -346,7 +411,30 @@ def run() -> dict:
         title=f"Open-loop overload, {OVERLOAD_CLIENTS} clients, "
         f"queue depth {OVERLOAD_QUEUE_DEPTH} (admission off/reject/degrade)",
     )
-    emit("perf_serving", closed_loop_table + "\n\n" + overload_table)
+    obs_table = format_table(
+        ["path", "counter (ns)", "histogram (ns)", "span (ns)"],
+        [
+            [
+                "disabled",
+                f"{obs['disabled_counter_ns']:.0f}",
+                f"{obs['disabled_histogram_ns']:.0f}",
+                f"{obs['disabled_span_ns']:.0f}",
+            ],
+            [
+                "enabled",
+                f"{obs['enabled_counter_ns']:.0f}",
+                f"{obs['enabled_histogram_ns']:.0f}",
+                f"{obs['enabled_span_ns']:.0f}",
+            ],
+        ],
+        title=f"Obs per-call overhead over {obs['iterations']} iterations "
+        f"(disabled bounds: counter {MAX_DISABLED_COUNTER_NS:.0f}ns, "
+        f"span {MAX_DISABLED_SPAN_NS:.0f}ns)",
+    )
+    emit(
+        "perf_serving",
+        closed_loop_table + "\n\n" + overload_table + "\n\n" + obs_table,
+    )
     return report
 
 
@@ -378,6 +466,12 @@ def test_perf_serving():
         assert overload[policy]["p99_ms"] <= overload["off"]["p99_ms"], (
             overload
         )
+    # The disabled obs plane stays near-zero-cost (also asserted
+    # in-run by _obs_overhead; repeated here so the gate reads off the
+    # report alone).
+    obs = report["obs"]
+    assert obs["disabled_counter_ns"] <= obs["max_disabled_counter_ns"], obs
+    assert obs["disabled_span_ns"] <= obs["max_disabled_span_ns"], obs
 
 
 if __name__ == "__main__":

@@ -131,6 +131,7 @@ class PS3:
         self.training_data: TrainingData | None = None
         self._picker: PS3Picker | None = None
         self._store = None  # StatisticsStore, bound via attach_store
+        self._serving_registry = None  # latest serve()'s MetricsRegistry
         # Serializes mutations of the shared serving state (table,
         # statistics, picker, feature builder) against picks. Picks and
         # appends hold it; execution runs on a table snapshot outside it
@@ -308,7 +309,9 @@ class PS3:
         deterministic fault-injection tests.
         """
         self.picker  # noqa: B018 - fail fast with NotFittedError
-        return ServingFrontEnd(self, config, faults=faults).start()
+        front = ServingFrontEnd(self, config, faults=faults).start()
+        self._serving_registry = front.registry
+        return front
 
     def execute_exact(self, query: Query) -> FinalAnswer:
         """The exact answer (full scan) for ground-truth comparison."""
@@ -387,6 +390,29 @@ class PS3:
     def storage_overhead_bytes(self) -> float:
         """Average per-partition sketch footprint (paper Table 4)."""
         return self.statistics.average_partition_size_bytes()
+
+    def metrics(self) -> dict:
+        """A point-in-time, JSON-serializable observability snapshot.
+
+        Merges the process-wide registry (engine sweeps / grid scoring,
+        plan- and mask-cache hit rates, WAL append/fsync latency,
+        checkpoint duration, mmap section touches — everything the
+        engine and storage planes record via
+        :func:`repro.obs.get_registry`) with the most recent
+        :meth:`serve` front end's private registry (``serving.*``
+        counters, admission-wait/pick/sweep/scatter histograms).
+        Instrument names are plane-prefixed, so the merge is
+        collision-free. Feed two snapshots to
+        :func:`repro.obs.snapshot_delta` for interval views.
+        """
+        from repro.obs import get_registry
+
+        snap = get_registry().snapshot()
+        if self._serving_registry is not None:
+            serving = self._serving_registry.snapshot()
+            for kind in ("counters", "gauges", "histograms"):
+                snap[kind].update(serving[kind])
+        return snap
 
 
 def _selection_groups(

@@ -13,6 +13,7 @@ model files. The CLI manages that lifecycle::
     ps3-repro evaluate --deploy ./deploy --budget 0.1 --queries 10
     ps3-repro append --deploy ./deploy --rows 1000
     ps3-repro checkpoint --deploy ./deploy
+    ps3-repro metrics --deploy ./deploy --queries 5
 
 ``train`` writes ``manifest.json``, ``stats.ps3stats`` and
 ``model.json``; ``query`` and ``evaluate`` rebuild the table from the
@@ -323,6 +324,29 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.engine.serving import answer_selections
+    from repro.obs import get_registry
+
+    manifest, spec, ptable, picker = _load_deployment(args.deploy)
+    if args.queries > 0:
+        # Drive the engine plane so the snapshot shows live counters and
+        # latency histograms, not just the load-time storage metrics.
+        workload = spec.workload()
+        generator = QueryGenerator(
+            workload, ptable.table, seed=manifest["seed"] + 999
+        )
+        queries = generator.sample_queries(args.queries)
+        budget = _resolve_budget(args.budget, ptable.num_partitions)
+        pairs = [
+            (query, picker.select(query, budget).selection)
+            for query in queries
+        ]
+        answer_selections(ptable, pairs)
+    print(json.dumps(get_registry().snapshot(), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ps3-repro",
@@ -377,6 +401,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fold journaled appends into a fresh atomic statistics bundle",
     )
     checkpoint.add_argument("--deploy", required=True)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="print a JSON observability snapshot for a deployment",
+    )
+    metrics.add_argument("--deploy", required=True)
+    metrics.add_argument(
+        "--queries",
+        type=int,
+        default=0,
+        help="answer this many generated queries first, so engine/picker "
+        "metrics appear alongside the load-time storage metrics",
+    )
+    metrics.add_argument("--budget", type=float, default=0.1)
     return parser
 
 
@@ -387,6 +425,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "append": _cmd_append,
     "checkpoint": _cmd_checkpoint,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -86,6 +86,7 @@ from repro.engine.combiner import FinalAnswer, WeightedChoice, estimate
 from repro.engine.executor import ComponentAnswer, GroupKey
 from repro.engine.query import Query
 from repro.errors import ConfigError
+from repro.obs import trace_span
 
 
 class BlockEstimator:
@@ -429,11 +430,14 @@ class BlockEstimator:
         """
         from repro.core.metrics import evaluate_errors_grid
 
-        true_values, true_present = truth if truth is not None else self.truth()
-        est_values, est_present = self.estimate_grid(selections)
-        return evaluate_errors_grid(
-            true_values, true_present, est_values, est_present
-        )
+        with trace_span("engine.grid_score", candidates=len(selections)):
+            true_values, true_present = (
+                truth if truth is not None else self.truth()
+            )
+            est_values, est_present = self.estimate_grid(selections)
+            return evaluate_errors_grid(
+                true_values, true_present, est_values, est_present
+            )
 
 
 def selection_scorer(query: Query, answers, path: str = "auto"):

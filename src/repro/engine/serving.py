@@ -73,6 +73,8 @@ from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
+from repro.obs import MetricsRegistry, trace_span
+
 from repro.engine.combiner import FinalAnswer, finalize_answer
 from repro.engine.query import Query
 from repro.engine.table import PartitionedTable
@@ -164,12 +166,21 @@ class ServingConfig:
             raise ConfigError("retry_backoff_seconds must be >= 0")
 
 
-@dataclass
 class ServingStats:
     """Observable counters for one front end (monotonic, not reset).
 
-    ``queue_depth`` is the one gauge: requests currently admitted but
-    not yet dequeued by the worker (``queue_peak`` is its high-water
+    Since the obs plane landed, this is a *view* over a
+    :class:`~repro.obs.MetricsRegistry` rather than a bag of ints: every
+    count lives in a ``serving.``-prefixed registry instrument, and the
+    historical attributes (``front.stats.shed`` and friends) read
+    straight through to it — existing callers and tests see the same
+    integers they always did, while ``registry.snapshot()`` (and
+    ``PS3.metrics()``) see the same counts as structured metrics.
+    Each front end gets its *own* registry by default, so concurrent
+    front ends never mix their counts; pass ``registry=`` to aggregate.
+
+    ``queue_depth`` is the one live gauge: requests currently admitted
+    but not yet dequeued by the worker (``queue_peak`` is its high-water
     mark). ``shed`` counts requests rejected at admission by the
     bounded queue; ``degraded`` counts requests answered below their
     resolved budget by the degradation controller; ``deadline_misses``
@@ -181,24 +192,76 @@ class ServingStats:
     that were retried.
     """
 
-    queries: int = 0
-    batches: int = 0
-    batched_queries: int = 0  # queries that shared a sweep with >= 1 other
-    largest_batch: int = 0
-    failures: int = 0
-    pick_dedup_hits: int = 0  # requests that reused a batch-mate's pick
-    queue_depth: int = 0  # gauge: currently queued (admitted, not dequeued)
-    queue_peak: int = 0
-    shed: int = 0
-    degraded: int = 0
-    deadline_misses: int = 0
-    cancelled_skips: int = 0
-    worker_restarts: int = 0
-    sweep_retries: int = 0
+    _COUNTER_NAMES = (
+        "queries",
+        "batches",
+        "batched_queries",  # queries that shared a sweep with >= 1 other
+        "failures",
+        "pick_dedup_hits",  # requests that reused a batch-mate's pick
+        "shed",
+        "degraded",
+        "deadline_misses",
+        "cancelled_skips",
+        "worker_restarts",
+        "sweep_retries",
+    )
+    _GAUGE_NAMES = ("queue_depth", "queue_peak", "largest_batch")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"serving.{name}")
+            for name in self._COUNTER_NAMES
+        }
+        self._gauges = {
+            name: self.registry.gauge(f"serving.{name}")
+            for name in self._GAUGE_NAMES
+        }
+
+    def __getattr__(self, name):
+        # Legacy integer views: front.stats.shed et al. read the
+        # registry instruments. (Only consulted for names not set in
+        # __init__, so the hot mutation path never lands here.)
+        instruments = self.__dict__.get("_counters")
+        if instruments is not None and name in instruments:
+            return instruments[name].value
+        instruments = self.__dict__.get("_gauges")
+        if instruments is not None and name in instruments:
+            return instruments[name].value
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in self._COUNTER_NAMES + self._GAUGE_NAMES
+        )
+        return f"ServingStats({fields})"
+
+    # -- mutation helpers (used by ServingFrontEnd only) ---------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self._counters[name].inc(n)
+
+    def note_enqueue(self) -> None:
+        depth = self._gauges["queue_depth"].add(1)
+        self._gauges["queue_peak"].set_max(depth)
+
+    def note_dequeue(self) -> None:
+        self._gauges["queue_depth"].add(-1)
+
+    def note_batch(self, size: int) -> None:
+        self._counters["batches"].inc()
+        self._counters["queries"].inc(size)
+        self._gauges["largest_batch"].set_max(size)
+        if size > 1:
+            self._counters["batched_queries"].inc(size)
 
     @property
     def mean_batch_size(self) -> float:
-        return self.queries / self.batches if self.batches else 0.0
+        batches = self._counters["batches"].value
+        return self._counters["queries"].value / batches if batches else 0.0
 
 
 @dataclass(frozen=True)
@@ -230,6 +293,7 @@ class _Request:
     budget_fraction: float | None
     deadline: float | None = None  # absolute time.monotonic(), None = never
     future: Future = field(default_factory=Future)
+    submitted: float = field(default_factory=time.monotonic)
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -298,11 +362,17 @@ class ServingFrontEnd:
     """
 
     def __init__(
-        self, system, config: ServingConfig | None = None, *, faults=None
+        self,
+        system,
+        config: ServingConfig | None = None,
+        *,
+        faults=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.config = config or ServingConfig()
-        self.stats = ServingStats()
+        self.stats = ServingStats(registry)
+        self.registry = self.stats.registry
         self._faults = faults
         self._queue: queue.Queue = queue.Queue()
         self._worker: threading.Thread | None = None
@@ -356,7 +426,7 @@ class ServingFrontEnd:
                 return
             if item is _SHUTDOWN:
                 continue
-            self._note_dequeue()
+            self._note_dequeue(item)
             self._fail_request(item, error)
 
     def __enter__(self) -> ServingFrontEnd:
@@ -446,7 +516,7 @@ class ServingFrontEnd:
                 )
             limit = self.config.max_queue_depth
             if limit is not None and self.stats.queue_depth >= limit:
-                self.stats.shed += 1
+                self.stats.count("shed")
                 raise ServingOverloadError(
                     f"admission queue full ({limit} requests); "
                     "request shed"
@@ -454,10 +524,7 @@ class ServingFrontEnd:
             request = _Request(
                 query, budget_partitions, budget_fraction, deadline
             )
-            self.stats.queue_depth += 1
-            self.stats.queue_peak = max(
-                self.stats.queue_peak, self.stats.queue_depth
-            )
+            self.stats.note_enqueue()
             self._queue.put(request)
         return request.future
 
@@ -498,8 +565,7 @@ class ServingFrontEnd:
             )
         except FutureTimeoutError:
             future.cancel()
-            with self._lifecycle:
-                self.stats.deadline_misses += 1
+            self.stats.count("deadline_misses")
             raise ServingTimeoutError(
                 f"request missed its {deadline_seconds}s deadline"
             ) from None
@@ -542,14 +608,14 @@ class ServingFrontEnd:
                 inflight, self._inflight = self._inflight, []
                 for request in inflight:
                     if not request.future.done():
-                        self.stats.failures += 1
+                        self.stats.count("failures")
                     self._fail_request(request, crash)
                 with self._lifecycle:
                     self._last_error = exc
                     self._crashes += 1
                     give_up = self._crashes > self.config.max_worker_restarts
                     if not give_up:
-                        self.stats.worker_restarts += 1
+                        self.stats.count("worker_restarts")
                     else:
                         self._failed = True
                 if give_up:
@@ -567,7 +633,7 @@ class ServingFrontEnd:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            self._note_dequeue()
+            self._note_dequeue(item)
             self._inflight = [item]
             batch, saw_shutdown = self._admit(item)
             self._process(batch)
@@ -575,9 +641,15 @@ class ServingFrontEnd:
             if saw_shutdown:
                 return
 
-    def _note_dequeue(self) -> None:
+    def _note_dequeue(self, request: _Request) -> None:
+        # Under _lifecycle so admission's depth check + increment stays
+        # mutually exclusive with the decrement (exact bounded-queue
+        # semantics, as before the registry migration).
         with self._lifecycle:
-            self.stats.queue_depth -= 1
+            self.stats.note_dequeue()
+        self.registry.histogram("serving.admission_wait_seconds").observe(
+            time.monotonic() - request.submitted
+        )
 
     @staticmethod
     def _pad_end(request: _Request, now: float) -> float:
@@ -622,7 +694,7 @@ class ServingFrontEnd:
                 break
             if item is _SHUTDOWN:
                 return batch, True
-            self._note_dequeue()
+            self._note_dequeue(item)
             batch.append(item)
             self._inflight.append(item)
             earliest_pad = min(
@@ -636,7 +708,7 @@ class ServingFrontEnd:
         """Fail a future unless the client already cancelled/resolved it."""
         future = request.future
         if future.cancelled():
-            self.stats.cancelled_skips += 1
+            self.stats.count("cancelled_skips")
             return
         if future.done():
             return
@@ -645,17 +717,17 @@ class ServingFrontEnd:
         except InvalidStateError:
             # Lost the race with a client-side cancel; never kill the
             # worker over a request nobody is waiting for.
-            self.stats.cancelled_skips += 1
+            self.stats.count("cancelled_skips")
 
     def _complete_request(self, request: _Request, answer) -> None:
         future = request.future
         if future.cancelled():
-            self.stats.cancelled_skips += 1
+            self.stats.count("cancelled_skips")
             return
         try:
             future.set_result(answer)
         except InvalidStateError:
-            self.stats.cancelled_skips += 1
+            self.stats.count("cancelled_skips")
 
     # -- batch processing ----------------------------------------------------
 
@@ -699,7 +771,9 @@ class ServingFrontEnd:
         # snapshot table keeps this batch's execution consistent even if
         # an append lands mid-sweep (appends build a *new* table object;
         # the snapshot's fused view is never mutated).
-        with system._state_lock:
+        with trace_span(
+            "serving.pick", registry=self.registry, batch=len(batch)
+        ), system._state_lock:
             ptable = system.ptable
             num_partitions = ptable.num_partitions
             picked: list[tuple[_Request, int, int, object]] = []
@@ -709,10 +783,10 @@ class ServingFrontEnd:
                 # client-side cancellation: from here on, set_result/
                 # set_exception cannot hit a cancelled future.
                 if not request.future.set_running_or_notify_cancel():
-                    self.stats.cancelled_skips += 1
+                    self.stats.count("cancelled_skips")
                     continue
                 if request.expired():
-                    self.stats.deadline_misses += 1
+                    self.stats.count("deadline_misses")
                     self._fail_request(
                         request,
                         ServingTimeoutError(
@@ -741,46 +815,45 @@ class ServingFrontEnd:
                         if key is not None:
                             pick_cache[key] = selection
                     else:
-                        self.stats.pick_dedup_hits += 1
+                        self.stats.count("pick_dedup_hits")
                 except Exception as exc:  # noqa: BLE001 - forwarded
                     # Ordinary per-request failures (bad column, bad
                     # budget, injected pick poison) fail only this
                     # future. BaseException-grade crashes escape to the
                     # supervisor: that is a worker death, not a request
                     # bug.
-                    self.stats.failures += 1
+                    self.stats.count("failures")
                     self._fail_request(request, exc)
                 else:
                     if effective < budget:
-                        self.stats.degraded += 1
+                        self.stats.count("degraded")
                     picked.append((request, budget, effective, selection))
-        self.stats.batches += 1
-        self.stats.queries += len(batch)
-        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-        if len(batch) > 1:
-            self.stats.batched_queries += len(batch)
+        self.stats.note_batch(len(batch))
         if not picked:
             return
         finals = self._sweep_with_retry(ptable, picked)
         if finals is None:
             return  # every future already failed
-        for (request, budget, effective, selection), groups in zip(
-            picked, finals
+        with trace_span(
+            "serving.scatter", registry=self.registry, requests=len(picked)
         ):
-            if faults is not None:
-                faults.on_scatter()
-            self._complete_request(
-                request,
-                ApproximateAnswer(
-                    query=request.query,
-                    groups=groups,
-                    selection=selection,
-                    budget=budget,
-                    num_partitions=num_partitions,
-                    effective_budget=effective,
-                    degraded=effective < budget,
-                ),
-            )
+            for (request, budget, effective, selection), groups in zip(
+                picked, finals
+            ):
+                if faults is not None:
+                    faults.on_scatter()
+                self._complete_request(
+                    request,
+                    ApproximateAnswer(
+                        query=request.query,
+                        groups=groups,
+                        selection=selection,
+                        budget=budget,
+                        num_partitions=num_partitions,
+                        effective_budget=effective,
+                        degraded=effective < budget,
+                    ),
+                )
 
     def _sweep_with_retry(self, ptable, picked):
         """One batch sweep, retrying transient failures with backoff.
@@ -798,9 +871,14 @@ class ServingFrontEnd:
         retries = self.config.sweep_retries
         for attempt in range(retries + 1):
             try:
-                if self._faults is not None:
-                    self._faults.on_sweep()
-                return answer_selections(ptable, pairs)
+                with trace_span(
+                    "serving.sweep",
+                    registry=self.registry,
+                    requests=len(pairs),
+                ):
+                    if self._faults is not None:
+                        self._faults.on_sweep()
+                    return answer_selections(ptable, pairs)
             except (OSError, ExecutionError) as exc:
                 transient = (
                     isinstance(exc, ExecutionError)
@@ -809,7 +887,7 @@ class ServingFrontEnd:
                 if not transient or attempt == retries:
                     self._fail_batch(picked, exc)
                     return None
-                self.stats.sweep_retries += 1
+                self.stats.count("sweep_retries")
                 if delay:
                     time.sleep(delay)
                     delay = min(delay * 2, max_delay)
@@ -819,6 +897,6 @@ class ServingFrontEnd:
         return None  # pragma: no cover - loop always returns or fails
 
     def _fail_batch(self, picked, exc: BaseException) -> None:
-        self.stats.failures += len(picked)
+        self.stats.count("failures", len(picked))
         for request, __, __e, __sel in picked:
             self._fail_request(request, exc)

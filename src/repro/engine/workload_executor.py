@@ -88,6 +88,7 @@ from repro.engine.expressions import BinOp, Expression
 from repro.engine.predicates import Predicate
 from repro.engine.query import Query
 from repro.engine.table import PartitionedTable
+from repro.obs import trace_span
 from repro.stats.plan import PlanCache
 
 _UNSET = object()
@@ -337,7 +338,8 @@ class WorkloadExecutor:
         # Execution twin of the featurization plan cache: same memo +
         # hit/miss machinery, compiling predicates to filtered row sets.
         self.mask_plans = PlanCache(
-            limit=self.CACHE_LIMIT, compiler=self._compile_mask
+            limit=self.CACHE_LIMIT, compiler=self._compile_mask,
+            name="mask_cache",
         )
         self._column_codes: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self._factorizations: dict[
@@ -388,17 +390,22 @@ class WorkloadExecutor:
         return self._answer_all(queries)
 
     def _answer_all(self, queries: list[Query]) -> AnswerMatrix:
-        blocks: list[QueryAnswerBlock] = []
-        seen: dict[Query, QueryAnswerBlock] = {}
-        for query in queries:
-            block = seen.get(query)
-            if block is not None:
-                self.query_dedup_hits += 1
-            else:
-                block = self._answer_block(query)
-                seen[query] = block
-            blocks.append(block)
-        return AnswerMatrix(queries, blocks, self.view.num_partitions)
+        with trace_span(
+            "engine.sweep",
+            queries=len(queries),
+            partitions=self.view.num_partitions,
+        ):
+            blocks: list[QueryAnswerBlock] = []
+            seen: dict[Query, QueryAnswerBlock] = {}
+            for query in queries:
+                block = seen.get(query)
+                if block is not None:
+                    self.query_dedup_hits += 1
+                else:
+                    block = self._answer_block(query)
+                    seen[query] = block
+                blocks.append(block)
+            return AnswerMatrix(queries, blocks, self.view.num_partitions)
 
     def _subset_executor(
         self, queries: list[Query], partitions

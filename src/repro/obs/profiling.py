@@ -1,0 +1,111 @@
+"""Opt-in profiling hooks over the span stream.
+
+The :class:`Profiler` protocol is the extension point: anything with
+``on_span_start(span)`` / ``on_span_end(span)`` can be attached to a
+registry (``registry.add_profiler(p)``) and will see every
+:func:`~repro.obs.tracing.trace_span` on every thread — including when
+metric *recording* is disabled, so a profiler can be the only consumer.
+
+Two batteries are included:
+
+* :class:`StageProfiler` — accumulates per-stage call counts and
+  wall/CPU totals in memory (``report()`` returns a plain dict sorted
+  by wall time); the cheapest way to answer "where did the time go?"
+  for one bench run without standing up the whole registry.
+* :func:`wrap_stage` — wraps any callable in a named span, the adapter
+  for stage functions that predate the obs plane (or third-party
+  callables you can't edit).
+
+Profilers run inline on the instrumented thread: keep callbacks O(1)
+and never raise — an exception from a profiler propagates into the
+traced stage.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from typing import Protocol, runtime_checkable
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.tracing import Span, trace_span
+
+
+@runtime_checkable
+class Profiler(Protocol):
+    """Span-stream consumer; attach via ``registry.add_profiler``."""
+
+    def on_span_start(self, span: Span) -> None: ...
+
+    def on_span_end(self, span: Span) -> None: ...
+
+
+class StageProfiler:
+    """In-memory per-stage aggregate: calls, wall/CPU totals, errors.
+
+    Thread-safe; ``report()`` returns ``{stage: {"calls", "wall_seconds",
+    "cpu_seconds", "errors"}}`` ordered by descending wall time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, dict] = {}
+
+    def on_span_start(self, span: Span) -> None:
+        pass
+
+    def on_span_end(self, span: Span) -> None:
+        with self._lock:
+            entry = self._stages.get(span.stage)
+            if entry is None:
+                entry = {
+                    "calls": 0,
+                    "wall_seconds": 0.0,
+                    "cpu_seconds": 0.0,
+                    "errors": 0,
+                }
+                self._stages[span.stage] = entry
+            entry["calls"] += 1
+            entry["wall_seconds"] += span.wall_seconds
+            entry["cpu_seconds"] += span.cpu_seconds
+            if span.error is not None:
+                entry["errors"] += 1
+
+    def report(self) -> dict:
+        with self._lock:
+            stages = {name: dict(entry) for name, entry in self._stages.items()}
+        return dict(
+            sorted(
+                stages.items(),
+                key=lambda item: item[1]["wall_seconds"],
+                reverse=True,
+            )
+        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+
+
+def wrap_stage(
+    stage: str,
+    func,
+    *,
+    registry: MetricsRegistry | None = None,
+    **tags,
+):
+    """Wrap ``func`` so every call runs inside ``trace_span(stage)``.
+
+    The registry is resolved *per call* (unless pinned explicitly), so a
+    wrapped stage respects later ``set_registry``/``disable`` flips and
+    keeps the disabled fast path.
+    """
+
+    @functools.wraps(func)
+    def wrapped(*args, **kwargs):
+        reg = registry if registry is not None else get_registry()
+        with trace_span(stage, registry=reg, **tags):
+            return func(*args, **kwargs)
+
+    wrapped.__ps3_stage__ = stage
+    return wrapped

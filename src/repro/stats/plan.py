@@ -43,6 +43,7 @@ from repro.engine.predicates import (
     Predicate,
 )
 from repro.errors import QueryScopeError
+from repro.obs import get_registry
 from repro.sketches.columnar import ColumnarSketchIndex, ColumnIndex
 from repro.sketches.hashing import hash_value
 from repro.stats.selectivity import _Interval
@@ -311,12 +312,25 @@ class PlanCache:
     (:mod:`repro.engine.workload_executor`) reuses this class with a
     mask compiler so identical predicates across a multi-query workload
     are evaluated once, with the same observable hit/miss accounting.
+
+    Besides the local ``hits``/``misses``/``evictions`` integers, every
+    event also increments ``{name}.hits|misses|evictions`` counters on
+    the process-wide :func:`repro.obs.get_registry`, so cache behavior
+    shows up in ``PS3.metrics()`` next to the latency histograms.
     """
 
-    def __init__(self, limit: int = 256, compiler=None) -> None:
+    def __init__(
+        self, limit: int = 256, compiler=None, name: str = "plan_cache"
+    ) -> None:
         self.limit = limit
+        self.name = name
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        registry = get_registry()
+        self._hit_counter = registry.counter(f"{name}.hits")
+        self._miss_counter = registry.counter(f"{name}.misses")
+        self._eviction_counter = registry.counter(f"{name}.evictions")
         self._compiler = compiler if compiler is not None else PredicatePlan.compile
         self._plans: dict[Predicate | None, object] = {}
         # The LRU refresh (pop + reinsert) and the at-capacity eviction
@@ -366,12 +380,16 @@ class PlanCache:
             plan = self._plans.get(predicate)
             if plan is not None:
                 self.hits += 1
+                self._hit_counter.inc()
                 self._plans[predicate] = self._plans.pop(predicate)
                 return plan
             self.misses += 1
+            self._miss_counter.inc()
             plan = self._compiler(predicate)
             if len(self._plans) >= self.limit:
                 del self._plans[next(iter(self._plans))]
+                self.evictions += 1
+                self._eviction_counter.inc()
             self._plans[predicate] = plan
             return plan
 

@@ -74,6 +74,7 @@ import numpy as np
 
 from repro.engine.schema import Column, ColumnKind, Schema
 from repro.errors import ConfigError, CorruptBundleError, DegradedLoadWarning
+from repro.obs import get_registry
 from repro.storage.atomic import (
     FileIO,
     atomic_write_bytes,
@@ -557,12 +558,19 @@ def load_statistics_bundle(
     manifest, blob = _read_manifest(path, io=io, mapped=True)
 
     def load_stats() -> DatasetStatistics:
+        # First touch of the deferred sketch section: visible in
+        # PS3.metrics() so mmap laziness can be audited, not assumed.
+        get_registry().counter("storage.mmap.sketch_section_touches").inc()
         _verify_sketch_section(manifest, blob, path)
         return _statistics_from_manifest(manifest, blob)
 
+    def load_index() -> ColumnarSketchIndex | None:
+        get_registry().counter("storage.mmap.index_section_touches").inc()
+        return _index_from_manifest(manifest, blob, copy=False)
+
     return StatisticsBundle(
         statistics_loader=load_stats,
-        index_loader=lambda: _index_from_manifest(manifest, blob, copy=False),
+        index_loader=load_index,
         plan_cache_keys=tuple(manifest.get("plan_cache_keys", ())),
         wal_applied_seq=int(manifest.get("wal_applied_seq", 0)),
     )

@@ -41,12 +41,15 @@ from __future__ import annotations
 
 import json
 import struct
+import time
 import warnings
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
+
+from repro.obs import get_registry, trace_span
 
 from repro.engine.table import PartitionedTable, Table
 from repro.errors import (
@@ -163,12 +166,24 @@ class WriteAheadLog:
             )
             + payload
         )
+        registry = get_registry()
+        append_start = time.perf_counter()
         handle = self.io.open(self.path, "ab")
         try:
             self.io.write(handle, record)
+            fsync_start = time.perf_counter()
             self.io.fsync(handle)
+            fsync_end = time.perf_counter()
         finally:
             self.io.close(handle)
+        registry.histogram("storage.wal.append_seconds").observe(
+            time.perf_counter() - append_start
+        )
+        registry.histogram("storage.wal.fsync_seconds").observe(
+            fsync_end - fsync_start
+        )
+        registry.counter("storage.wal.appends").inc()
+        registry.counter("storage.wal.bytes").inc(len(record))
         self._last_seq = seq
         return seq
 
@@ -196,7 +211,11 @@ class WriteAheadLog:
         """Intact journal batches with ``seq > after_seq``, in order."""
         base, batches = self._scan()
         self._last_seq = batches[-1].seq if batches else base
-        return [b for b in batches if b.seq > after_seq]
+        replayed = [b for b in batches if b.seq > after_seq]
+        get_registry().counter("storage.wal.replayed_batches").inc(
+            len(replayed)
+        )
+        return replayed
 
     def _scan(self) -> tuple[int, list[WalBatch]]:
         if not self.exists():
@@ -323,17 +342,20 @@ class StatisticsStore:
         is truncated. A crash in between leaves both the folded bundle
         and the journal — replay skips the already-applied records.
         """
-        applied = self.wal.last_seq
-        save_statistics(
-            stats,
-            self.stats_path,
-            index=index,
-            plan_cache_keys=plan_cache_keys,
-            wal_applied_seq=applied,
-            io=self.io,
-        )
-        self.wal.truncate()
-        return applied
+        with trace_span(
+            "storage.checkpoint", partitions=stats.num_partitions
+        ):
+            applied = self.wal.last_seq
+            save_statistics(
+                stats,
+                self.stats_path,
+                index=index,
+                plan_cache_keys=plan_cache_keys,
+                wal_applied_seq=applied,
+                io=self.io,
+            )
+            self.wal.truncate()
+            return applied
 
     def load(self) -> tuple[StatisticsBundle, list[WalBatch]]:
         """The last good checkpoint plus the journal batches after it."""

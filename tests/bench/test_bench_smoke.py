@@ -82,6 +82,8 @@ def test_perf_bench_main_path(path, tmp_path, monkeypatch):
             "along with the bench's scale interface"
         )
         monkeypatch.setattr(module, knob, tiny)
+    if hasattr(module, "OBS_MICROBENCH_ITERATIONS"):
+        monkeypatch.setattr(module, "OBS_MICROBENCH_ITERATIONS", 2_000)
     report = module.run()
     assert report["results"], report
     for row in report["results"]:
@@ -126,6 +128,15 @@ def test_perf_bench_main_path(path, tmp_path, monkeypatch):
             assert row["queue_peak"] >= 0
         assert overload["off"]["shed"] == 0
         assert overload["reject"]["degraded"] == 0
+        # The obs no-op microbench must keep reporting both paths and
+        # its own bounds (the bench asserts them in-run; the schema is
+        # what the CI artifact consumers read).
+        obs = persisted["obs"]
+        assert obs["iterations"] >= 1
+        assert 0.0 < obs["disabled_counter_ns"] <= obs["max_disabled_counter_ns"]
+        assert 0.0 < obs["disabled_span_ns"] <= obs["max_disabled_span_ns"]
+        assert obs["enabled_counter_ns"] > 0.0
+        assert obs["enabled_span_ns"] > 0.0
     if bench_name == "perf_sketch_plane":
         # Build and cold-start claims are all parity-gated; the flag,
         # the three cold-start timings, and the bytes-touched/RSS

@@ -82,6 +82,52 @@ def test_bench_rot_guard_runs_smoke_module_explicitly(jobs):
     assert any("tests/bench/test_bench_smoke.py" in line for line in lines)
 
 
+def test_concurrency_cancels_superseded_runs(workflow):
+    """Pushes to the same ref cancel in-flight runs instead of queueing."""
+    concurrency = workflow["concurrency"]
+    assert "${{ github.ref }}" in concurrency["group"]
+    assert concurrency["cancel-in-progress"] is True
+
+
+def test_perf_gate_is_a_named_bench_rot_step(jobs):
+    """The perf-regression smoke gate runs explicitly, with its reports
+    landing in benchmarks/results/ for the artifact upload."""
+    gate = [
+        line
+        for line in _run_lines(jobs["bench-rot"])
+        if "tests/bench/test_perf_gate.py" in line
+    ]
+    assert gate, "bench-rot lost its perf-regression smoke gate step"
+    assert "REPRO_RESULTS_DIR=benchmarks/results" in gate[0]
+
+
+def test_bench_reports_are_uploaded_as_artifacts(jobs):
+    uploads = [
+        step
+        for step in jobs["bench-rot"]["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert uploads, "bench-rot lost its artifact-upload step"
+    assert uploads[0]["with"]["path"] == "benchmarks/results/*.json"
+    # Upload even when the gate fails: a red run's reports are exactly
+    # the ones worth inspecting.
+    assert uploads[0]["if"] == "always()"
+
+
+def test_coverage_job_reports_without_gating(jobs):
+    lines = _run_lines(jobs["coverage"])
+    covered = [line for line in lines if "--cov=repro" in line]
+    assert covered, "coverage job lost its pytest-cov run"
+    assert '-m "not slow"' in covered[0]  # the tier-1 set, not slow
+    assert all("--cov-fail-under" not in line for line in lines), (
+        "coverage grew a threshold; that is a deliberate edit — update "
+        "this pin and the workflow comment together"
+    )
+    assert any("GITHUB_STEP_SUMMARY" in line for line in lines), (
+        "coverage report no longer lands in the job summary"
+    )
+
+
 def test_killpoint_sweep_is_a_named_tier1_gate(jobs):
     """The crash-safety sweep runs as its own step in the fast gate.
 

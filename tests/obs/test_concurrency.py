@@ -1,0 +1,111 @@
+"""Multi-thread hammer: counters never lose increments, histograms conserve."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+def _hammer(target, barrier):
+    barrier.wait()
+    target()
+
+
+def _run_threads(target):
+    barrier = threading.Barrier(THREADS)
+    threads = [
+        threading.Thread(target=_hammer, args=(target, barrier))
+        for _ in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_no_lost_counter_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits")
+
+    def work():
+        for _ in range(ITERATIONS):
+            counter.inc()
+
+    _run_threads(work)
+    assert counter.value == THREADS * ITERATIONS
+
+
+def test_gauge_add_is_atomic():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+
+    def work():
+        for _ in range(ITERATIONS):
+            gauge.add(1)
+            gauge.add(-1)
+
+    _run_threads(work)
+    assert gauge.value == 0
+
+
+def test_gauge_set_max_tracks_true_peak():
+    registry = MetricsRegistry()
+    depth = registry.gauge("depth")
+    peak = registry.gauge("peak")
+
+    def work():
+        for _ in range(ITERATIONS):
+            peak.set_max(depth.add(1))
+            depth.add(-1)
+
+    _run_threads(work)
+    assert depth.value == 0
+    assert 1 <= peak.value <= THREADS
+
+
+def test_histogram_totals_conserved_under_contention():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    per_thread = [1e-5 * (i + 1) for i in range(THREADS)]
+
+    def work():
+        slot = int(threading.current_thread().name.split("-")[-1])
+        value = per_thread[slot % THREADS]
+        for _ in range(ITERATIONS):
+            hist.observe(value)
+
+    barrier = threading.Barrier(THREADS)
+    threads = [
+        threading.Thread(
+            target=_hammer, args=(work, barrier), name=f"hammer-{i}"
+        )
+        for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = THREADS * ITERATIONS
+    assert hist.count == total
+    expected_sum = ITERATIONS * sum(per_thread)
+    assert hist.sum == pytest.approx(expected_sum)
+    snap = registry.snapshot()["histograms"]["lat"]
+    # Conservation law: bucket counts account for every observation.
+    assert sum(snap["buckets"]) == total
+
+
+def test_instrument_creation_race_yields_one_instrument():
+    registry = MetricsRegistry()
+    created = []
+
+    def work():
+        created.append(registry.counter("shared"))
+        registry.counter("shared").inc()
+
+    _run_threads(work)
+    assert all(instrument is created[0] for instrument in created)
+    assert registry.counter("shared").value == THREADS

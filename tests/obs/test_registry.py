@@ -1,0 +1,176 @@
+"""MetricsRegistry semantics: instruments, snapshots, deltas, disabled."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    snapshot_delta,
+)
+
+
+def test_counter_inc_and_value():
+    registry = MetricsRegistry()
+    counter = registry.counter("x")
+    counter.inc()
+    counter.inc(41)
+    assert counter.value == 42
+
+
+def test_instruments_are_idempotent_by_name():
+    registry = MetricsRegistry()
+    assert registry.counter("c") is registry.counter("c")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_name_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("metric")
+    with pytest.raises(ConfigError, match="already exists"):
+        registry.gauge("metric")
+    with pytest.raises(ConfigError, match="already exists"):
+        registry.histogram("metric")
+
+
+def test_gauge_set_add_and_set_max():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth")
+    assert gauge.add(3) == 3
+    assert gauge.add(-1) == 2
+    gauge.set_max(10)
+    assert gauge.value == 10
+    gauge.set_max(5)  # not a new high-water mark
+    assert gauge.value == 10
+    gauge.set(0)
+    assert gauge.value == 0
+
+
+def test_histogram_totals_and_extremes():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    values = [1e-5, 3e-4, 0.002, 0.002, 1.5]
+    for value in values:
+        hist.observe(value)
+    assert hist.count == len(values)
+    assert hist.sum == pytest.approx(sum(values))
+    snap = registry.snapshot()["histograms"]["lat"]
+    assert snap["min"] == pytest.approx(1e-5)
+    assert snap["max"] == pytest.approx(1.5)
+    assert sum(snap["buckets"]) == len(values)
+
+
+def test_histogram_percentiles_are_ordered_and_bounded():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat")
+    values = [i * 1e-4 for i in range(1, 200)]
+    for value in values:
+        hist.observe(value)
+    p50, p95, p99 = (hist.percentile(q) for q in (50, 95, 99))
+    assert p50 <= p95 <= p99
+    # Fixed-bucket estimation: clamped to the observed range, and the
+    # median lands within one geometric bucket (10**0.25x) of the truth.
+    assert min(values) <= p50 <= max(values)
+    assert p99 <= max(values)
+    true_p50 = values[len(values) // 2]
+    assert true_p50 / 1.8 <= p50 <= true_p50 * 1.8
+
+
+def test_histogram_overflow_bucket_pins_to_observed_max():
+    registry = MetricsRegistry()
+    hist = registry.histogram("big", bounds=(1.0, 2.0))
+    hist.observe(100.0)
+    assert hist.percentile(99) == pytest.approx(100.0)
+
+
+def test_empty_histogram_percentile_is_none():
+    registry = MetricsRegistry()
+    assert registry.histogram("empty").percentile(50) is None
+
+
+def test_histogram_bounds_must_ascend():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigError, match="ascending"):
+        registry.histogram("bad", bounds=(2.0, 1.0))
+
+
+def test_snapshot_is_json_serializable():
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.gauge("g").set(7)
+    registry.histogram("h").observe(0.01)
+    text = json.dumps(registry.snapshot())
+    decoded = json.loads(text)
+    assert decoded["counters"]["c"] == 1
+    assert decoded["gauges"]["g"] == 7
+    assert decoded["histograms"]["h"]["count"] == 1
+
+
+def test_disabled_registry_records_nothing():
+    registry = MetricsRegistry(enabled=False)
+    registry.counter("c").inc(5)
+    registry.gauge("g").set(9)
+    registry.gauge("g").add(3)
+    registry.gauge("g").set_max(99)
+    registry.histogram("h").observe(1.0)
+    snap = registry.snapshot()
+    assert snap["counters"]["c"] == 0
+    assert snap["gauges"]["g"] == 0
+    assert snap["histograms"]["h"]["count"] == 0
+
+
+def test_enable_disable_toggle():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    registry.disable()
+    counter.inc()
+    registry.enable()
+    counter.inc()
+    assert counter.value == 2
+
+
+def test_snapshot_delta_subtracts_counters_and_histograms():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    hist = registry.histogram("h")
+    counter.inc(10)
+    hist.observe(0.001)
+    before = registry.snapshot()
+    counter.inc(5)
+    hist.observe(0.002)
+    hist.observe(0.004)
+    registry.gauge("g").set(3)
+    delta = snapshot_delta(before, registry.snapshot())
+    assert delta["counters"]["c"] == 5
+    assert delta["histograms"]["h"]["count"] == 2
+    assert delta["histograms"]["h"]["sum"] == pytest.approx(0.006)
+    assert sum(delta["histograms"]["h"]["buckets"]) == 2
+    # Gauges are point-in-time: the after value is reported as-is.
+    assert delta["gauges"]["g"] == 3
+    # Delta percentiles re-estimate from the interval's buckets only.
+    assert delta["histograms"]["h"]["p50"] >= 0.001
+
+
+def test_snapshot_delta_handles_instruments_born_in_the_interval():
+    registry = MetricsRegistry()
+    before = registry.snapshot()
+    registry.counter("new").inc(7)
+    registry.histogram("fresh").observe(0.5)
+    delta = snapshot_delta(before, registry.snapshot())
+    assert delta["counters"]["new"] == 7
+    assert delta["histograms"]["fresh"]["count"] == 1
+
+
+def test_default_registry_swap_roundtrip():
+    mine = MetricsRegistry()
+    previous = set_registry(mine)
+    try:
+        assert get_registry() is mine
+    finally:
+        set_registry(previous)
+    assert get_registry() is previous
